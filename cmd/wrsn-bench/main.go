@@ -1,0 +1,216 @@
+// Command wrsn-bench regenerates the paper's evaluation figures.
+//
+// Every figure of Section VI is covered: Figure 3 (network size sweep),
+// Figure 4 (maximum data rate sweep) and Figure 5 (charger count sweep),
+// each with its (a) average-longest-tour-duration panel and (b)
+// average-dead-duration panel, plus the design ablations documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	wrsn-bench -fig all -instances 10
+//	wrsn-bench -fig 3 -instances 30 -csv
+//	wrsn-bench -fig ablation
+//
+// Output is one aligned text table per panel (x column plus one column per
+// algorithm), or CSV with -csv.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/chart"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", `figure to regenerate: "3", "4", "5" (paper), "C" (clustering extension), "all" or "ablation"`)
+		instances = flag.Int("instances", 10, "random networks per sweep point (paper: 100)")
+		days      = flag.Float64("days", 365, "monitored period in days (paper: one year)")
+		window    = flag.Float64("window", sim.DefaultBatchWindow/3600, "dispatch batching window in hours")
+		seed      = flag.Int64("seed", 0, "base seed for instance generation")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		svgDir    = flag.String("svgdir", "", "also render each figure panel as an SVG line chart into this directory")
+		jsonDir   = flag.String("jsondir", "", "also write each figure panel as machine-readable JSON into this directory")
+		verify    = flag.Bool("verify", false, "run the feasibility verifier every round")
+		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Instances:   *instances,
+		Seed:        *seed,
+		Duration:    *days * 86400,
+		BatchWindow: *window * 3600,
+		Verify:      *verify,
+	}
+	if !*quiet {
+		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	if err := run(*fig, opt, *csv, *svgDir, *jsonDir); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
+	start := time.Now()
+	switch fig {
+	case "3", "4", "5", "C", "c":
+		if err := runFigure(fig, opt, csv, svgDir, jsonDir); err != nil {
+			return err
+		}
+	case "all":
+		for _, id := range []string{"3", "4", "5", "C"} {
+			if err := runFigure(id, opt, csv, svgDir, jsonDir); err != nil {
+				return err
+			}
+		}
+	case "ablation":
+		for _, id := range []string{experiments.AblationMIS, experiments.AblationInsertion, experiments.AblationTourBuilder, experiments.AblationDispatch, experiments.AblationPartial} {
+			if err := runAblation(id, opt, csv); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -fig %q", fig)
+	}
+	fmt.Fprintf(os.Stderr, "total %s\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func runFigure(id string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
+	a, b, err := experiments.Run(id, opt)
+	if err != nil {
+		return err
+	}
+	for _, f := range []*experiments.Figure{a, b} {
+		if err := printFigure(f, opt, csv); err != nil {
+			return err
+		}
+		if svgDir != "" {
+			if err := writeSVG(svgDir, f); err != nil {
+				return err
+			}
+		}
+		if jsonDir != "" {
+			if err := writeJSON(jsonDir, f); err != nil {
+				return err
+			}
+		}
+	}
+	if a.Violations > 0 {
+		return fmt.Errorf("figure %s: %d feasibility violations", id, a.Violations)
+	}
+	return nil
+}
+
+func printFigure(f *experiments.Figure, opt experiments.Options, csv bool) error {
+	title := fmt.Sprintf("Figure %s: %s [%d instances, %.0f days]",
+		f.ID, f.Title, opt.Instances, opt.Duration/86400)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	tb := export.NewTable(title, header...)
+	for xi, x := range f.X {
+		row := []string{export.F(x, 0)}
+		for _, s := range f.Series {
+			row = append(row, export.F(s.Y[xi], 1))
+		}
+		tb.AddRow(row...)
+	}
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runAblation(id string, opt experiments.Options, csv bool) error {
+	rows, err := experiments.RunAblation(id, opt)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Ablation %q — dense single rounds, K=2 (%d instances)", id, opt.Instances)
+	lastCol := "conflict wait (s)"
+	if id == experiments.AblationDispatch || id == experiments.AblationPartial {
+		title = fmt.Sprintf("Ablation %q — one-year simulations, K=2 (%d instances)", id, opt.Instances)
+		lastCol = "dead per sensor (s)"
+	}
+	tb := export.NewTable(title,
+		"variant", "n", "longest (h)", "stops/round", lastCol)
+	for _, r := range rows {
+		tb.AddRow(r.Variant, export.I(r.N), export.F(r.LongestH, 2), export.F(r.Stops, 1), export.F(r.WaitS, 1))
+	}
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeSVG renders one figure panel into dir as fig<ID>.svg.
+func writeSVG(dir string, f *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	line := &chart.Line{
+		Title:  fmt.Sprintf("Figure %s: %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+		X:      f.X,
+	}
+	for _, s := range f.Series {
+		line.Series = append(line.Series, chart.Series{Label: s.Label, Y: s.Y})
+	}
+	path := filepath.Join(dir, "fig"+f.ID+".svg")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := line.SVG(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// writeJSON dumps one figure panel into dir as fig<ID>.json.
+func writeJSON(dir string, f *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "fig"+f.ID+".json")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{Instances: 1, Duration: 3 * 86400}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("9", tinyOpts(), false, "", ""); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFigure5WithSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("5", tinyOpts(), false, dir, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig5a.svg", "fig5b.svg"} {
+		if _, err := filepath.Glob(filepath.Join(dir, name)); err != nil {
+			t.Errorf("glob %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	if err := run("4", tinyOpts(), true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if err := run("ablation", tinyOpts(), false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunWritesLoadableJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := run(25, 3, 50, 0, path, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nw, err := repro.LoadNetwork(f)
+	if err != nil {
+		t.Fatalf("generated JSON does not load: %v", err)
+	}
+	if len(nw.Sensors) != 25 {
+		t.Errorf("sensors = %d, want 25", len(nw.Sensors))
+	}
+}
+
+func TestRunClustered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clustered.json")
+	if err := run(40, 1, 30, 4, path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"sensors\"") {
+		t.Error("JSON missing sensors field")
+	}
+}
+
+func TestRunRejectsBadOutputPath(t *testing.T) {
+	if err := run(5, 1, 50, 0, filepath.Join(t.TempDir(), "no", "such", "dir.json"), false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

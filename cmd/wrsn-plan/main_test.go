@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildInstanceShape(t *testing.T) {
+	in := buildInstance(50, 3, 7)
+	if len(in.Requests) != 50 || in.K != 3 || in.Gamma != 2.7 {
+		t.Fatalf("instance shape wrong: %d requests K=%d", len(in.Requests), in.K)
+	}
+	for i, r := range in.Requests {
+		if r.Duration < 1.2*3600 || r.Duration > 1.5*3600 {
+			t.Fatalf("request %d duration %v outside [1.2h, 1.5h]", i, r.Duration)
+		}
+		if r.Lifetime <= 0 {
+			t.Fatalf("request %d without lifetime", i)
+		}
+	}
+	// Deterministic per seed.
+	again := buildInstance(50, 3, 7)
+	if again.Requests[0].Pos != in.Requests[0].Pos {
+		t.Error("buildInstance not deterministic")
+	}
+}
+
+func TestRunSingleAndCompare(t *testing.T) {
+	if err := run(60, 2, "Appro", 1, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(40, 2, "", 1, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tours.svg")
+	if err := run(30, 2, "Appro", 1, path, "", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestRunUnknownPlanner(t *testing.T) {
+	if err := run(10, 1, "bogus", 1, "", "", false); err == nil {
+		t.Error("unknown planner accepted")
+	}
+}
+
+func TestRunWritesGantt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gantt.svg")
+	if err := run(30, 2, "Appro", 1, "", path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "charger activity") {
+		t.Error("output is not a Gantt chart")
+	}
+}

@@ -1,0 +1,147 @@
+// Command wrsn-sim runs one full evaluation simulation: it generates a
+// WRSN with the paper's parameters, monitors it for the configured period
+// under a chosen scheduling algorithm, and reports per-round and aggregate
+// statistics.
+//
+// Usage:
+//
+//	wrsn-sim -n 1000 -k 2 -planner Appro -days 365
+//	wrsn-sim -n 1200 -k 2 -planner K-minMax -rounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/export"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1000, "number of sensors (paper: 200..1200)")
+		k       = flag.Int("k", 2, "number of mobile chargers (paper: 1..5)")
+		name    = flag.String("planner", "Appro", "algorithm: Appro, K-EDF, NETWRAP, AA or K-minMax")
+		days    = flag.Float64("days", 365, "monitored period in days")
+		window  = flag.Float64("window", repro.DefaultBatchWindow/3600, "dispatch batching window in hours")
+		seed    = flag.Int64("seed", 1, "network generation seed")
+		bmax    = flag.Float64("bmax", 50, "maximum data rate in kbps")
+		verify  = flag.Bool("verify", true, "run the feasibility verifier every round")
+		rounds  = flag.Bool("rounds", false, "print the per-round table")
+		cluster = flag.Int("clusters", 0, "place sensors in this many clusters instead of uniformly")
+		load    = flag.String("load", "", "load the network from this JSON file (as written by wrsn-gen) instead of generating one")
+		level   = flag.Float64("level", 1.0, "partial-charging level: top sensors up to this fraction of capacity")
+		indep   = flag.Bool("independent", false, "use independent per-charger dispatch instead of synchronized rounds")
+		trace   = flag.String("trace", "", "write a JSONL event trace (dispatch/charge/dead) to this file")
+	)
+	flag.Parse()
+
+	if err := run(runOpts{
+		n: *n, k: *k, name: *name, days: *days, windowH: *window,
+		seed: *seed, bmaxKbps: *bmax, clusters: *cluster, load: *load,
+		level: *level, independent: *indep, verify: *verify, printRounds: *rounds,
+		trace: *trace,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// runOpts carries the command's flag values.
+type runOpts struct {
+	n, k, clusters          int
+	name, load              string
+	days, windowH, bmaxKbps float64
+	level                   float64
+	seed                    int64
+	independent             bool
+	verify, printRounds     bool
+	trace                   string
+}
+
+func run(o runOpts) error {
+	n, k, name := o.n, o.k, o.name
+	days, windowH, seed := o.days, o.windowH, o.seed
+	bmaxKbps, clusters, load := o.bmaxKbps, o.clusters, o.load
+	verify, printRounds := o.verify, o.printRounds
+	planner, err := repro.NewPlanner(name)
+	if err != nil {
+		return err
+	}
+	var nw *repro.Network
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		nw, err = repro.LoadNetwork(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		n = len(nw.Sensors)
+	} else {
+		params := repro.NewNetworkParams(n)
+		params.BMaxBps = bmaxKbps * 1e3
+		params.Clusters = clusters
+		nw, err = repro.GenerateNetwork(params, seed)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("network: n=%d, field %.0fx%.0f m, total draw %.2f W, K=%d, planner %s\n",
+		n, nw.Field.Width(), nw.Field.Height(), nw.TotalDraw(), k, planner.Name())
+
+	dispatch := repro.DispatchSynchronized
+	if o.independent {
+		dispatch = repro.DispatchIndependent
+	}
+	cfg := repro.SimConfig{
+		Duration:    days * 86400,
+		BatchWindow: windowH * 3600,
+		ChargeLevel: o.level,
+		Dispatch:    dispatch,
+		Verify:      verify,
+	}
+	if o.trace != "" {
+		tf, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		cfg.Trace = tf
+	}
+	res, err := repro.Simulate(nw, k, planner, cfg)
+	if err != nil {
+		return err
+	}
+
+	if printRounds {
+		tb := export.NewTable("per-round log",
+			"round", "start (d)", "batch", "stops", "longest (h)", "wait (s)")
+		for i, r := range res.Rounds {
+			tb.AddRow(export.I(i+1), export.F(r.Start/86400, 2), export.I(r.Batch),
+				export.I(r.Stops), export.F(r.Longest/3600, 2), export.F(r.Wait, 1))
+		}
+		if err := tb.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("rounds:                  %d (mean batch %.1f, mean stops %.1f, consolidation %.2fx)\n",
+		len(res.Rounds), res.MeanBatch(), res.MeanStops(), res.ConsolidationFactor())
+	fmt.Printf("avg longest tour:        %.2f h\n", res.AvgLongest/3600)
+	fmt.Printf("max longest tour:        %.2f h\n", res.MaxLongest/3600)
+	fmt.Printf("avg dead per sensor:     %.1f min\n", res.AvgDeadPerSensor/60)
+	fmt.Printf("sensors that ever died:  %d / %d\n", res.DeadSensors, n)
+	fmt.Printf("charges delivered:       %d (%.1f kJ)\n", res.Charges, res.EnergyDelivered/1000)
+	if verify {
+		fmt.Printf("feasibility violations:  %d\n", res.Violations)
+		if res.Violations > 0 {
+			return fmt.Errorf("%d feasibility violations", res.Violations)
+		}
+	}
+	return nil
+}

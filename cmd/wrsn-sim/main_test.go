@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseOpts() runOpts {
+	return runOpts{
+		n: 30, k: 2, name: "Appro", days: 10, windowH: 24,
+		seed: 1, bmaxKbps: 50, level: 1, verify: true,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run(baseOpts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryPlanner(t *testing.T) {
+	for _, name := range []string{"Appro", "K-EDF", "NETWRAP", "AA", "K-minMax"} {
+		o := baseOpts()
+		o.name = name
+		o.days = 5
+		if err := run(o); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownPlanner(t *testing.T) {
+	o := baseOpts()
+	o.name = "nope"
+	if err := run(o); err == nil {
+		t.Error("unknown planner accepted")
+	}
+}
+
+func TestRunIndependentAndPartial(t *testing.T) {
+	o := baseOpts()
+	o.independent = true
+	o.level = 0.8
+	o.printRounds = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLoadMissingFile(t *testing.T) {
+	o := baseOpts()
+	o.load = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(o); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunLoadGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts()
+	o.load = path
+	if err := run(o); err == nil {
+		t.Error("garbage file accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Farmfield: a precision-agriculture deployment — soil-moisture sensors
+// clustered around irrigation pivots rather than uniformly scattered —
+// monitored for a season, asking how many mobile chargers the farm needs.
+//
+// The example exercises the workload generator's clustered mode, a custom
+// (lower-power) radio profile, and the one-year simulator across K = 1..4,
+// reproducing the paper's Figure-5-style diminishing-returns curve on a
+// non-uniform deployment.
+//
+// Run with:
+//
+//	go run ./examples/farmfield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 500 sensors in 8 clusters (one per irrigation pivot) on a larger
+	// 200 x 200 m plot, with a lower-duty radio than the paper default:
+	// field sensors report slowly.
+	params := repro.NewNetworkParams(500)
+	params.FieldSide = 200
+	params.Clusters = 8
+	params.ClusterStd = 15
+	params.TxRange = 35 // sparser field needs longer radio hops
+	params.Radio.DutyCycle = 0.35
+
+	nw, err := repro.GenerateNetwork(params, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("farm: %d sensors in %d clusters, %.0fx%.0f m, aggregate draw %.2f W\n\n",
+		len(nw.Sensors), params.Clusters, params.FieldSide, params.FieldSide, nw.TotalDraw())
+
+	appro, err := repro.NewPlanner("Appro")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One growing season (180 days) per charger-fleet size.
+	const season = 180 * 86400
+	fmt.Println("chargers  avg longest tour (h)  max tour (h)  dead/sensor (min)  sensors died")
+	for k := 1; k <= 4; k++ {
+		res, err := repro.Simulate(nw, k, appro, repro.SimConfig{
+			Duration:    season,
+			BatchWindow: 6 * 3600, // eager dispatch: relay-heavy hubs have little slack
+			Verify:      true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Violations != 0 {
+			log.Fatalf("K=%d: %d feasibility violations", k, res.Violations)
+		}
+		fmt.Printf("%8d  %20.2f  %12.2f  %17.1f  %12d\n",
+			k, res.AvgLongest/3600, res.MaxLongest/3600,
+			res.AvgDeadPerSensor/60, res.DeadSensors)
+	}
+	fmt.Println("\nthe K=1 -> K=2 drop is steep and flattens after — match the fleet to the knee")
+}

@@ -1,0 +1,174 @@
+// Package capacitated extends the paper's model with finite charger
+// batteries. The paper assumes "a mobile charger has sufficient energy for
+// traveling and sensor charging per charging tour" (Section III-B); its own
+// references [13], [14] study the capacitated variant. This package
+// post-processes a planned schedule: each charger's tour is split into
+// consecutive depot-returning trips such that no trip spends more energy —
+// travel plus wireless energy transferred — than the charger battery holds,
+// with a configurable depot turnaround for the charger to replenish itself.
+package capacitated
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Params describes the charger's energy model.
+type Params struct {
+	// CapacityJ is the charger's battery capacity in joules.
+	CapacityJ float64
+	// MoveJPerM is the travel energy cost in joules per meter
+	// (electric cart scale: ~20-50 J/m).
+	MoveJPerM float64
+	// TransferEfficiency is the wall-to-sensor efficiency of wireless
+	// transfer in (0, 1]: delivering E joules into batteries drains
+	// E / TransferEfficiency from the charger.
+	TransferEfficiency float64
+	// TurnaroundS is the time a charger spends at the depot between
+	// trips replenishing its own battery, in seconds.
+	TurnaroundS float64
+}
+
+// Validate reports the first problem with the parameters, or nil.
+func (p Params) Validate() error {
+	if p.CapacityJ <= 0 || math.IsNaN(p.CapacityJ) {
+		return fmt.Errorf("capacitated: capacity = %v, want > 0", p.CapacityJ)
+	}
+	if p.MoveJPerM < 0 || math.IsNaN(p.MoveJPerM) {
+		return fmt.Errorf("capacitated: move cost = %v, want >= 0", p.MoveJPerM)
+	}
+	if p.TransferEfficiency <= 0 || p.TransferEfficiency > 1 || math.IsNaN(p.TransferEfficiency) {
+		return fmt.Errorf("capacitated: transfer efficiency = %v, want in (0, 1]", p.TransferEfficiency)
+	}
+	if p.TurnaroundS < 0 || math.IsNaN(p.TurnaroundS) {
+		return fmt.Errorf("capacitated: turnaround = %v, want >= 0", p.TurnaroundS)
+	}
+	return nil
+}
+
+// Trip is one depot-to-depot leg of a charger's workload.
+type Trip struct {
+	// Tour holds the stops with times relative to the trip's own start.
+	Tour core.Tour
+	// Start is when the trip begins, relative to the charger's dispatch.
+	Start float64
+	// EnergyJ is the charger energy the trip consumes.
+	EnergyJ float64
+}
+
+// Plan is a capacitated schedule: each charger runs its trips in sequence,
+// returning to the depot to replenish between them.
+type Plan struct {
+	// Chargers[k] lists charger k's trips in execution order.
+	Chargers [][]Trip
+	// Longest is the maximum, over chargers, of the completion time of
+	// the last trip (including turnarounds), in seconds.
+	Longest float64
+	// TotalEnergyJ is the total charger energy consumed by all trips.
+	TotalEnergyJ float64
+	// Trips is the total number of trips.
+	Trips int
+}
+
+// stopEnergy returns the charger energy one stop consumes: the energy
+// transferred into every sensor the stop charges, scaled by the transfer
+// efficiency. Instance charge durations encode needed energy via the
+// network charging rate eta; the caller supplies eta to convert back.
+func stopEnergy(in *core.Instance, st core.Stop, eta float64, p Params) float64 {
+	total := 0.0
+	for _, u := range st.Covers {
+		total += in.Requests[u].Duration * eta
+	}
+	return total / p.TransferEfficiency
+}
+
+// Split converts a planned schedule into a capacitated plan for chargers
+// with the given parameters. eta is the charging rate in watts (the same
+// rate the instance's durations were computed with). It fails if any
+// single stop alone exceeds the charger capacity — no trip structure can
+// fix that; the caller must raise CapacityJ or lower eta.
+func Split(in *core.Instance, s *core.Schedule, eta float64, p Params) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if eta <= 0 || math.IsNaN(eta) {
+		return nil, fmt.Errorf("capacitated: eta = %v, want > 0", eta)
+	}
+	plan := &Plan{Chargers: make([][]Trip, len(s.Tours))}
+	for k, tour := range s.Tours {
+		trips, err := splitTour(in, tour, eta, p)
+		if err != nil {
+			return nil, fmt.Errorf("capacitated: charger %d: %w", k, err)
+		}
+		// Lay the trips out in time.
+		clock := 0.0
+		for i := range trips {
+			trips[i].Start = clock
+			clock += trips[i].Tour.Delay
+			if i < len(trips)-1 {
+				clock += p.TurnaroundS
+			}
+			plan.TotalEnergyJ += trips[i].EnergyJ
+			plan.Trips++
+		}
+		if clock > plan.Longest {
+			plan.Longest = clock
+		}
+		plan.Chargers[k] = trips
+	}
+	return plan, nil
+}
+
+// splitTour greedily packs consecutive stops into trips whose energy —
+// travel out, between stops, and back, plus transfer — fits the capacity.
+func splitTour(in *core.Instance, tour core.Tour, eta float64, p Params) ([]Trip, error) {
+	if len(tour.Stops) == 0 {
+		return nil, nil
+	}
+	var trips []Trip
+	var cur []core.Stop
+	curEnergy := 0.0 // travel-so-far + transfer, excluding the return leg
+	pos := in.Depot
+	returnCost := func(from geom.Point) float64 {
+		return geom.Dist(from, in.Depot) * p.MoveJPerM
+	}
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		t := core.Tour{Stops: cur}
+		core.FinalizeTour(in, &t)
+		trips = append(trips, Trip{Tour: t, EnergyJ: curEnergy + returnCost(pos)})
+		cur = nil
+		curEnergy = 0
+		pos = in.Depot
+	}
+	for _, st := range tour.Stops {
+		stPos := in.Requests[st.Node].Pos
+		hop := geom.Dist(pos, stPos) * p.MoveJPerM
+		transfer := stopEnergy(in, st, eta, p)
+		// Can this stop alone ever fit?
+		solo := geom.Dist(in.Depot, stPos)*2*p.MoveJPerM + transfer
+		if solo > p.CapacityJ {
+			return nil, fmt.Errorf("stop at node %d needs %.0f J alone, capacity %.0f J",
+				st.Node, solo, p.CapacityJ)
+		}
+		if curEnergy+hop+transfer+returnCost(stPos) > p.CapacityJ {
+			flush()
+			hop = geom.Dist(in.Depot, stPos) * p.MoveJPerM
+		}
+		// Reset the per-trip times; FinalizeTour recomputes them.
+		st.Arrive = 0
+		cur = append(cur, st)
+		curEnergy += hop + transfer
+		pos = stPos
+	}
+	flush()
+	return trips, nil
+}

@@ -1,0 +1,214 @@
+package capacitated
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func params() Params {
+	return Params{
+		CapacityJ:          2e6, // 2 MJ charger battery
+		MoveJPerM:          30,
+		TransferEfficiency: 0.5,
+		TurnaroundS:        1800,
+	}
+}
+
+func planned(t *testing.T, rng *rand.Rand, n, k int) (*core.Instance, *core.Schedule) {
+	t.Helper()
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: k}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+		})
+	}
+	s, err := core.ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, s
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero capacity", func(p *Params) { p.CapacityJ = 0 }},
+		{"negative move", func(p *Params) { p.MoveJPerM = -1 }},
+		{"zero efficiency", func(p *Params) { p.TransferEfficiency = 0 }},
+		{"efficiency above 1", func(p *Params) { p.TransferEfficiency = 1.5 }},
+		{"negative turnaround", func(p *Params) { p.TurnaroundS = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := params()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if err := params().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestSplitPreservesStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, s := planned(t, rng, 150, 2)
+	plan, err := Split(in, s, 2, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chargers) != 2 {
+		t.Fatalf("chargers = %d", len(plan.Chargers))
+	}
+	// Stops per charger must be preserved in order across its trips.
+	for k, tour := range s.Tours {
+		var got []int
+		for _, trip := range plan.Chargers[k] {
+			for _, st := range trip.Tour.Stops {
+				got = append(got, st.Node)
+			}
+		}
+		if len(got) != len(tour.Stops) {
+			t.Fatalf("charger %d: %d stops after split, want %d", k, len(got), len(tour.Stops))
+		}
+		for i := range got {
+			if got[i] != tour.Stops[i].Node {
+				t.Fatalf("charger %d: stop order changed at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestSplitRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in, s := planned(t, rng, 200, 2)
+	p := params()
+	plan, err := Split(in, s, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Trips < 3 {
+		t.Errorf("expected multiple trips under a 2 MJ budget, got %d", plan.Trips)
+	}
+	for k, trips := range plan.Chargers {
+		for i, trip := range trips {
+			if trip.EnergyJ > p.CapacityJ+1e-6 {
+				t.Errorf("charger %d trip %d uses %.0f J > capacity", k, i, trip.EnergyJ)
+			}
+			if trip.EnergyJ <= 0 {
+				t.Errorf("charger %d trip %d has no energy use", k, i)
+			}
+		}
+	}
+}
+
+func TestSplitTimeLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, s := planned(t, rng, 120, 2)
+	p := params()
+	plan, err := Split(in, s, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, trips := range plan.Chargers {
+		clock := 0.0
+		for i, trip := range trips {
+			if math.Abs(trip.Start-clock) > 1e-6 {
+				t.Fatalf("charger %d trip %d starts at %v, want %v", k, i, trip.Start, clock)
+			}
+			clock += trip.Tour.Delay
+			if i < len(trips)-1 {
+				clock += p.TurnaroundS
+			}
+		}
+		if clock > plan.Longest+1e-6 {
+			t.Fatalf("charger %d finishes at %v after Longest %v", k, clock, plan.Longest)
+		}
+	}
+	// Capacitated plan can only be slower than the uncapacitated one.
+	if plan.Longest < s.Longest-1e-6 {
+		t.Errorf("capacitated longest %v below planned %v", plan.Longest, s.Longest)
+	}
+}
+
+func TestSplitInfiniteCapacityIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in, s := planned(t, rng, 100, 2)
+	p := params()
+	p.CapacityJ = 1e12
+	plan, err := Split(in, s, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Trips != countNonEmpty(s) {
+		t.Errorf("huge capacity should give one trip per non-empty tour: %d vs %d",
+			plan.Trips, countNonEmpty(s))
+	}
+	if math.Abs(plan.Longest-s.Longest) > 1e-6 {
+		t.Errorf("huge capacity Longest = %v, want %v", plan.Longest, s.Longest)
+	}
+}
+
+func countNonEmpty(s *core.Schedule) int {
+	n := 0
+	for _, tour := range s.Tours {
+		if len(tour.Stops) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSplitRejectsImpossibleStop(t *testing.T) {
+	in := &core.Instance{
+		Depot:    geom.Pt(0, 0),
+		Requests: []core.Request{{Pos: geom.Pt(10, 0), Duration: 1e6}}, // 2 GJ at eta=2
+		Gamma:    2.7, Speed: 1, K: 1,
+	}
+	s, err := core.ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Split(in, s, 2, params()); err == nil {
+		t.Error("oversized single stop should be rejected")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in, s := planned(t, rng, 10, 1)
+	if _, err := Split(in, s, 0, params()); err == nil {
+		t.Error("eta=0 accepted")
+	}
+	bad := params()
+	bad.CapacityJ = -1
+	if _, err := Split(in, s, 2, bad); err == nil {
+		t.Error("bad params accepted")
+	}
+	badIn := *in
+	badIn.Speed = 0
+	if _, err := Split(&badIn, s, 2, params()); err == nil {
+		t.Error("bad instance accepted")
+	}
+}
+
+func TestSplitEmptySchedule(t *testing.T) {
+	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 2}
+	s := &core.Schedule{Tours: make([]core.Tour, 2)}
+	plan, err := Split(in, s, 2, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Trips != 0 || plan.Longest != 0 {
+		t.Errorf("empty schedule plan: %+v", plan)
+	}
+}

@@ -1,0 +1,203 @@
+// Package chart renders the experiment harness's figures as standalone SVG
+// line charts — axes, ticks, legend, one polyline per algorithm — so
+// cmd/wrsn-bench can emit graphical counterparts of the paper's Figures
+// 3-5 next to its text tables.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Line describes one line chart.
+type Line struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Width and Height are the image size in pixels; zero means 720x480.
+	Width, Height int
+}
+
+// seriesColors are the per-series stroke colors; curves beyond the
+// palette's length cycle.
+var seriesColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+// markers are per-series point markers: circle, square, diamond, triangle.
+var markers = []string{"circle", "square", "diamond", "triangle"}
+
+// Validate reports the first structural problem with the chart, or nil.
+func (l *Line) Validate() error {
+	if len(l.X) < 1 {
+		return fmt.Errorf("chart: no x values")
+	}
+	if len(l.Series) == 0 {
+		return fmt.Errorf("chart: no series")
+	}
+	for _, s := range l.Series {
+		if len(s.Y) != len(l.X) {
+			return fmt.Errorf("chart: series %q has %d points for %d xs", s.Label, len(s.Y), len(l.X))
+		}
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return fmt.Errorf("chart: series %q has non-finite value", s.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// SVG writes the chart as an SVG document.
+func (l *Line) SVG(w io.Writer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	width, height := l.Width, l.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		marginL = 70
+		marginR = 150
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xmin, xmax := minMax(l.X)
+	var ys []float64
+	for _, s := range l.Series {
+		ys = append(ys, s.Y...)
+	}
+	ymin, ymax := minMax(ys)
+	if ymin > 0 {
+		ymin = 0 // anchor the y axis at zero like the paper's figures
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, escape(l.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	// X ticks at the data points.
+	for _, x := range l.X {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px(x), marginT+plotH, px(x), marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(x), marginT+plotH+18, trimFloat(x))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(l.XLabel))
+	// Y ticks: 5 round intervals.
+	for i := 0; i <= 5; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py(y), marginL, py(y))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(y), marginL+plotW, py(y))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, py(y)+4, trimFloat(y))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(l.YLabel))
+
+	// Curves with markers.
+	for si, s := range l.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var path strings.Builder
+		for i, x := range l.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s %.1f %.1f ", cmd, px(x), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for i, x := range l.X {
+			writeMarker(&b, markers[si%len(markers)], px(x), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := float64(marginT + 10 + si*22)
+		lx := float64(width - marginR + 14)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+24, ly, color)
+		writeMarker(&b, markers[si%len(markers)], lx+12, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n",
+			lx+30, ly+4, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeMarker(b *strings.Builder, kind string, x, y float64, color string) {
+	const r = 4.0
+	switch kind {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		fmt.Fprintf(b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default: // circle
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// trimFloat formats a tick value compactly.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

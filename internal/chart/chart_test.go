@@ -1,0 +1,111 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demo() *Line {
+	return &Line{
+		Title:  "Average longest tour duration",
+		XLabel: "network size n",
+		YLabel: "hours",
+		X:      []float64{200, 400, 600},
+		Series: []Series{
+			{Label: "Appro", Y: []float64{4.7, 9.0, 12.7}},
+			{Label: "K-EDF", Y: []float64{4.8, 9.4, 13.5}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := demo().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Line)
+	}{
+		{"no xs", func(l *Line) { l.X = nil }},
+		{"no series", func(l *Line) { l.Series = nil }},
+		{"length mismatch", func(l *Line) { l.Series[0].Y = l.Series[0].Y[:1] }},
+		{"NaN", func(l *Line) { l.Series[0].Y[0] = math.NaN() }},
+		{"Inf", func(l *Line) { l.Series[1].Y[2] = math.Inf(1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l := demo()
+			tt.mutate(l)
+			if err := l.Validate(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSVGContainsEverything(t *testing.T) {
+	var sb strings.Builder
+	if err := demo().SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Average longest tour duration",
+		"network size n", "hours", "Appro", "K-EDF",
+		"<path", "<circle", "<rect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two curves -> at least two path elements (curves) plus markers.
+	if strings.Count(out, "<path") < 2 {
+		t.Error("missing series paths")
+	}
+}
+
+func TestSVGRejectsInvalid(t *testing.T) {
+	l := demo()
+	l.Series = nil
+	var sb strings.Builder
+	if err := l.SVG(&sb); err == nil {
+		t.Error("invalid chart rendered")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	l := demo()
+	l.Title = "a < b & c"
+	var sb strings.Builder
+	if err := l.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "a < b & c") {
+		t.Error("labels not escaped")
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	l := &Line{
+		Title: "flat", XLabel: "x", YLabel: "y",
+		X:      []float64{5},
+		Series: []Series{{Label: "s", Y: []float64{3}}},
+	}
+	var sb strings.Builder
+	if err := l.SVG(&sb); err != nil {
+		t.Fatalf("single-point chart failed: %v", err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("NaN coordinates in degenerate chart")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(200) != "200" || trimFloat(2.5) != "2.5" {
+		t.Errorf("trimFloat: %q %q", trimFloat(200), trimFloat(2.5))
+	}
+}

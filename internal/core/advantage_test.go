@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ktour"
+)
+
+// oneToOneDelay plans the same request set one-to-one (K-minMax style) for
+// comparison without importing the baselines package (which would create
+// an import cycle with this package's tests).
+func oneToOneDelay(t *testing.T, in *Instance) float64 {
+	t.Helper()
+	service := make([]float64, len(in.Requests))
+	for i, r := range in.Requests {
+		service[i] = r.Duration
+	}
+	sol, err := ktour.MinMax(ktour.Input{
+		Depot:   in.Depot,
+		Nodes:   in.Positions(),
+		Service: service,
+		Speed:   in.Speed,
+		K:       in.K,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Longest
+}
+
+// TestMultiNodeAdvantageGrowsWithDensity quantifies the paper's thesis on
+// single rounds: Appro's delay relative to the best one-to-one schedule
+// must shrink as the request density rises.
+func TestMultiNodeAdvantageGrowsWithDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ratioAt := func(n int) float64 {
+		in := &Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, Request{
+				Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			})
+		}
+		s, err := ApproPlanner{}.Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Longest / oneToOneDelay(t, in)
+	}
+	sparse := ratioAt(60)
+	dense := ratioAt(900)
+	if dense >= sparse {
+		t.Errorf("advantage did not grow with density: ratio %0.3f at n=60, %0.3f at n=900", sparse, dense)
+	}
+	if dense > 0.9 {
+		t.Errorf("dense-instance ratio %.3f; expected a clear multi-node win (< 0.9)", dense)
+	}
+	t.Logf("Appro/one-to-one delay ratio: %.3f at n=60, %.3f at n=900", sparse, dense)
+}
+
+// TestApproNeverWorseThanOneToOneWhenDense pins the headline direction on
+// several dense instances.
+func TestApproNeverWorseThanOneToOneWhenDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 5; trial++ {
+		in := &Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+		for i := 0; i < 500; i++ {
+			in.Requests = append(in.Requests, Request{
+				Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			})
+		}
+		s, err := ApproPlanner{}.Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one := oneToOneDelay(t, in); s.Longest > one {
+			t.Errorf("trial %d: Appro %v worse than one-to-one %v on a dense instance", trial, s.Longest, one)
+		}
+	}
+}
+
+// TestScheduleJSONRoundTrip ensures the schedule types serialize cleanly —
+// downstream users persist plans.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	in := paperInstance(rng, 60, 2)
+	s, err := ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Longest != s.Longest || back.NumStops() != s.NumStops() {
+		t.Error("schedule changed across JSON round trip")
+	}
+	if vs := Verify(in, &back); len(vs) != 0 {
+		t.Fatalf("deserialized schedule infeasible: %v", vs[0])
+	}
+	// Instances round-trip too.
+	idata, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBack Instance
+	if err := json.Unmarshal(idata, &inBack); err != nil {
+		t.Fatal(err)
+	}
+	if err := inBack.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inBack.Requests) != len(in.Requests) || inBack.K != in.K {
+		t.Error("instance changed across JSON round trip")
+	}
+}
+
+// TestApproHugeGammaSingleStop: when one disk covers the whole field, the
+// plan must collapse to a single stop at some sensor.
+func TestApproHugeGammaSingleStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	in := &Instance{Depot: geom.Pt(50, 50), Gamma: 1000, Speed: 1, K: 3}
+	for i := 0; i < 40; i++ {
+		in.Requests = append(in.Requests, Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: 1000,
+		})
+	}
+	s, err := ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumStops() != 1 {
+		t.Errorf("stops = %d, want 1 (everything in one charging range)", s.NumStops())
+	}
+	if vs := Verify(in, s); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+// TestApproTwoIslands: requests split into two far-apart clusters with
+// K = 2 — the schedule must stay feasible and cover both islands.
+func TestApproTwoIslands(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	in := &Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+	for i := 0; i < 30; i++ {
+		in.Requests = append(in.Requests, Request{
+			Pos:      geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			Duration: 3600,
+		})
+	}
+	for i := 0; i < 30; i++ {
+		in.Requests = append(in.Requests, Request{
+			Pos:      geom.Pt(90+rng.Float64()*10, 90+rng.Float64()*10),
+			Duration: 3600,
+		})
+	}
+	s, err := ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Verify(in, s); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/ktour"
+)
+
+// Options tunes Algorithm Appro. The zero value gives the paper's behavior
+// with deterministic maximal independent sets.
+type Options struct {
+	// MISOrder selects the maximal-independent-set strategy for both the
+	// charging graph G_c (step 2) and the auxiliary graph H (step 4).
+	// Zero means graph.MISMaxDegree, which greedily picks hub sensors
+	// whose charging disks cover the most neighbors — the ablation in
+	// EXPERIMENTS.md shows it yields ~20% fewer stops and shorter tours
+	// than min-degree or lexicographic selection on dense request sets.
+	MISOrder graph.MISOrder
+	// Seed drives graph.MISRandom; ignored for deterministic orders.
+	Seed int64
+	// NoSortByFinishTime disables the paper's processing of pending
+	// sojourn locations in increasing latest-neighbor-finish-time order
+	// (Algorithm 1, line 9) and processes them in index order instead.
+	// Used only by ablation studies.
+	NoSortByFinishTime bool
+	// TourBuilder selects the grand-tour construction inside the
+	// K-minMax subroutine (step 5); zero means Christofides + 2-opt.
+	// Used by ablation studies.
+	TourBuilder ktour.Builder
+}
+
+// Appro runs Algorithm 1 of the paper and returns a planned schedule for
+// the K chargers. The schedule covers every request, uses node-disjoint
+// closed tours through the depot, and its per-stop times follow the
+// paper's finish-time bookkeeping. Use Execute to turn the plan into a
+// conflict-free executed schedule (the plan itself already avoids charger
+// overlap by construction of the insertion rule; Execute additionally
+// enforces it against the rare residual conflicts caused by downstream
+// time shifts, by making a charger wait).
+//
+// The algorithm runs in O(|V_s|^2) time plus the K-minMax subroutine.
+func Appro(in *Instance, opts Options) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MISOrder == 0 {
+		opts.MISOrder = graph.MISMaxDegree
+	}
+	n := len(in.Requests)
+	sched := &Schedule{Tours: make([]Tour, in.K)}
+	if n == 0 {
+		return sched, nil
+	}
+	pts := in.Positions()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Step 1-2: charging graph G_c and its MIS S_I (candidate sojourns).
+	gc := graph.UnitDisk(pts, in.Gamma)
+	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+
+	// Step 3-4: auxiliary graph H over S_I and its MIS V'_H.
+	h := graph.IntersectionGraph(pts, si, in.Gamma)
+	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+
+	// Coverage sets N_c+(v) for each candidate sojourn, over request
+	// indices.
+	grid := geom.NewGrid(pts, maxCell(in.Gamma))
+	cover := make([][]int, len(si))
+	var buf []int
+	for i, node := range si {
+		buf = grid.Neighbors(pts[node], in.Gamma, buf)
+		cs := make([]int, len(buf))
+		copy(cs, buf)
+		sort.Ints(cs)
+		cover[i] = cs
+	}
+
+	// tau(v) upper bounds for the initial V'_H stops (Eq. (2)). Because
+	// V'_H is independent in H, no two initial stops share a sensor, so
+	// tau'(v) == tau(v) for all of them.
+	service := make([]float64, len(vh))
+	vhPts := make([]geom.Point, len(vh))
+	for i, hIdx := range vh {
+		vhPts[i] = pts[si[hIdx]]
+		for _, u := range cover[hIdx] {
+			if d := in.Requests[u].Duration; d > service[i] {
+				service[i] = d
+			}
+		}
+	}
+
+	// Step 5: K node-disjoint closed tours over V'_H via the K-minMax
+	// closed tour approximation.
+	kt, err := ktour.MinMax(ktour.Input{
+		Depot:   in.Depot,
+		Nodes:   vhPts,
+		Service: service,
+		Speed:   in.Speed,
+		K:       in.K,
+		Builder: opts.TourBuilder,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: k-minmax subroutine: %w", err)
+	}
+
+	// Build the working state. covered[u] marks requests attributed to a
+	// stop; inTour[i] the S_I candidates already placed (index into si).
+	covered := make([]bool, n)
+	inTour := make([]int, len(si)) // -1 or tour index
+	for i := range inTour {
+		inTour[i] = -1
+	}
+	for k, tour := range kt.Tours {
+		for _, vi := range tour {
+			hIdx := vh[vi]
+			stop := Stop{Node: si[hIdx], Duration: service[vi]}
+			for _, u := range cover[hIdx] {
+				if !covered[u] {
+					covered[u] = true
+					stop.Covers = append(stop.Covers, u)
+				}
+			}
+			sched.Tours[k].Stops = append(sched.Tours[k].Stops, stop)
+			inTour[hIdx] = k
+		}
+		recomputeTourTimes(in, &sched.Tours[k])
+	}
+
+	// Step 6-24: insert the pending candidates U = S_I \ V'_H one by one,
+	// each after its H-neighbor with the latest charging finish time
+	// (Eqs. (8), (9), (13)), skipping candidates whose coverage area is
+	// already fully charged.
+	pending := make([]int, 0, len(si)-len(vh))
+	inVH := make(map[int]bool, len(vh))
+	for _, hIdx := range vh {
+		inVH[hIdx] = true
+	}
+	for i := range si {
+		if !inVH[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	// finishOf returns f(v) for a placed candidate (index into si).
+	stopPos := make(map[int][2]int, len(si)) // si index -> (tour, position)
+	for k := range sched.Tours {
+		for p, st := range sched.Tours[k].Stops {
+			stopPos[siIndexOf(si, st.Node)] = [2]int{k, p}
+		}
+	}
+	finishOf := func(hIdx int) float64 {
+		tp := stopPos[hIdx]
+		return sched.Tours[tp[0]].Stops[tp[1]].Finish()
+	}
+	// latestNeighborFinish computes f_N(u) (Eq. (8)) and the placed
+	// neighbor attaining it; ok is false when u has no placed H-neighbor.
+	latestNeighborFinish := func(hIdx int) (fn float64, best int, ok bool) {
+		fn, best = math.Inf(-1), -1
+		for _, w := range h.Neighbors(hIdx) {
+			if inTour[w] < 0 {
+				continue
+			}
+			if f := finishOf(int(w)); f > fn {
+				fn, best = f, int(w)
+			}
+		}
+		return fn, best, best >= 0
+	}
+
+	for len(pending) > 0 {
+		// Pick the pending candidate with the smallest f_N(u)
+		// (Algorithm 1, line 9). Candidates without placed neighbors are
+		// deferred; the paper proves at least one candidate always has
+		// one (maximality of V'_H in H), and placing candidates only
+		// creates more placed neighbors.
+		pick := -1
+		var pickFN float64
+		var pickAfter int
+		for pi, hIdx := range pending {
+			fn, after, ok := latestNeighborFinish(hIdx)
+			if !ok {
+				continue
+			}
+			if pick < 0 || fn < pickFN || opts.NoSortByFinishTime {
+				pick, pickFN, pickAfter = pi, fn, after
+				if opts.NoSortByFinishTime {
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			// No pending candidate touches a placed one. This cannot
+			// happen when V'_H is maximal, but guard against it by
+			// placing the first pending candidate into the shortest
+			// tour directly.
+			pick, pickAfter = 0, -1
+		}
+		hIdx := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+
+		// Skip if all sensors in N_c+(u) are already attributed
+		// (Algorithm 1, line 10).
+		newCovers := newCoverage(cover[hIdx], covered)
+		if len(newCovers) == 0 {
+			continue
+		}
+		// tau'(u) per Eq. (10): longest duration among newly covered.
+		dur := 0.0
+		for _, u := range newCovers {
+			if d := in.Requests[u].Duration; d > dur {
+				dur = d
+			}
+		}
+		stop := Stop{Node: si[hIdx], Duration: dur, Covers: newCovers}
+		for _, u := range newCovers {
+			covered[u] = true
+		}
+
+		var k, pos int
+		if pickAfter >= 0 {
+			tp := stopPos[pickAfter]
+			k, pos = tp[0], tp[1]+1
+		} else {
+			// Fallback: append to the tour with the smallest delay.
+			k = shortestTour(sched)
+			pos = len(sched.Tours[k].Stops)
+		}
+		insertStop(&sched.Tours[k], pos, stop)
+		recomputeTourTimes(in, &sched.Tours[k])
+		inTour[hIdx] = k
+		// Re-index stop positions for the modified tour.
+		for p, st := range sched.Tours[k].Stops {
+			stopPos[siIndexOf(si, st.Node)] = [2]int{k, p}
+		}
+	}
+
+	sched.refreshLongest()
+	return sched, nil
+}
+
+// maxCell clamps grid cell sizes away from zero for degenerate gammas.
+func maxCell(gamma float64) float64 {
+	if gamma <= 0 {
+		return 1
+	}
+	return gamma
+}
+
+// newCoverage returns the members of cover not yet marked covered, in
+// ascending order.
+func newCoverage(cover []int, covered []bool) []int {
+	var out []int
+	for _, u := range cover {
+		if !covered[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// insertStop inserts st at position pos in the tour's stop list.
+func insertStop(t *Tour, pos int, st Stop) {
+	t.Stops = append(t.Stops, Stop{})
+	copy(t.Stops[pos+1:], t.Stops[pos:])
+	t.Stops[pos] = st
+}
+
+// shortestTour returns the index of the tour with the smallest delay.
+func shortestTour(s *Schedule) int {
+	best := 0
+	for k := range s.Tours {
+		if s.Tours[k].Delay < s.Tours[best].Delay {
+			best = k
+		}
+	}
+	return best
+}
+
+// siIndexOf maps a request index back to its position in the sorted S_I
+// slice; si is ascending so binary search applies.
+func siIndexOf(si []int, node int) int {
+	lo, hi := 0, len(si)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if si[mid] < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// handSchedule builds a minimal feasible schedule by hand for a two-sensor
+// instance with disjoint coverage.
+func handInstance() *Instance {
+	return &Instance{
+		Depot: geom.Pt(0, 0),
+		Requests: []Request{
+			{Pos: geom.Pt(10, 0), Duration: 100},
+			{Pos: geom.Pt(-10, 0), Duration: 50},
+		},
+		Gamma: 2.7,
+		Speed: 1,
+		K:     2,
+	}
+}
+
+func handSchedule() *Schedule {
+	return &Schedule{
+		Tours: []Tour{
+			{Stops: []Stop{{Node: 0, Arrive: 10, Duration: 100, Covers: []int{0}}}, Delay: 120},
+			{Stops: []Stop{{Node: 1, Arrive: 10, Duration: 50, Covers: []int{1}}}, Delay: 70},
+		},
+		Longest: 120,
+	}
+}
+
+func hasKind(vs []Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyAcceptsFeasible(t *testing.T) {
+	in := handInstance()
+	if vs := Verify(in, handSchedule()); len(vs) != 0 {
+		t.Fatalf("violations on feasible schedule: %v", vs)
+	}
+}
+
+func TestVerifyCatchesEachViolation(t *testing.T) {
+	in := handInstance()
+	tests := []struct {
+		name   string
+		mutate func(*Schedule)
+		kind   string
+	}{
+		{"uncovered", func(s *Schedule) { s.Tours[1].Stops[0].Covers = nil }, "uncovered"},
+		{"double cover", func(s *Schedule) { s.Tours[1].Stops[0].Covers = []int{0, 1} }, "double-cover"},
+		{"out of range cover", func(s *Schedule) {
+			s.Tours[0].Stops[0].Covers = []int{0, 1} // sensor 1 is 20 m away
+			s.Tours[1].Stops[0].Covers = nil
+		}, "out-of-range"},
+		{"bad node", func(s *Schedule) { s.Tours[0].Stops[0].Node = 99 }, "bad-node"},
+		{"bad cover index", func(s *Schedule) { s.Tours[0].Stops[0].Covers = []int{0, 42} }, "bad-cover"},
+		{"arrives too early", func(s *Schedule) { s.Tours[0].Stops[0].Arrive = 3 }, "time-travel"},
+		{"undercharge", func(s *Schedule) { s.Tours[0].Stops[0].Duration = 1 }, "undercharge"},
+		{"delay understated", func(s *Schedule) { s.Tours[0].Delay = 50 }, "delay-understated"},
+		{"wrong tour count", func(s *Schedule) { s.Tours = s.Tours[:1] }, "tour-count"},
+		{"shared sojourn", func(s *Schedule) {
+			s.Tours[1].Stops = append(s.Tours[1].Stops, Stop{Node: 0, Arrive: 200, Duration: 0})
+		}, "shared-sojourn"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := handSchedule()
+			tt.mutate(s)
+			vs := Verify(in, s)
+			if !hasKind(vs, tt.kind) {
+				t.Errorf("want violation %q, got %v", tt.kind, vs)
+			}
+		})
+	}
+}
+
+func TestVerifyCatchesSimultaneousCharge(t *testing.T) {
+	// Two sojourn locations 3 m apart with a sensor in the shared lens:
+	// charging both at the same time must be flagged.
+	in := &Instance{
+		Depot: geom.Pt(0, 0),
+		Requests: []Request{
+			{Pos: geom.Pt(10, 0), Duration: 100},  // stop A
+			{Pos: geom.Pt(13, 0), Duration: 100},  // stop B
+			{Pos: geom.Pt(11.5, 0), Duration: 50}, // shared sensor
+		},
+		Gamma: 2.7,
+		Speed: 1,
+		K:     2,
+	}
+	s := &Schedule{
+		Tours: []Tour{
+			{Stops: []Stop{{Node: 0, Arrive: 10, Duration: 100, Covers: []int{0, 2}}}, Delay: 120},
+			{Stops: []Stop{{Node: 1, Arrive: 13, Duration: 100, Covers: []int{1}}}, Delay: 126},
+		},
+	}
+	vs := Verify(in, s)
+	if !hasKind(vs, "simultaneous-charge") {
+		t.Fatalf("overlapping intervals with shared sensor not flagged: %v", vs)
+	}
+	// Shift tour 2 after tour 1 finishes: no more overlap.
+	s.Tours[1].Stops[0].Arrive = 111
+	s.Tours[1].Delay = 224
+	if vs := Verify(in, s); hasKind(vs, "simultaneous-charge") {
+		t.Fatalf("disjoint intervals flagged: %v", vs)
+	}
+}
+
+func TestExecuteResolvesConflicts(t *testing.T) {
+	// Same shared-lens geometry; hand the executor a deliberately
+	// conflicting plan and check it serializes the two stops.
+	in := &Instance{
+		Depot: geom.Pt(0, 0),
+		Requests: []Request{
+			{Pos: geom.Pt(10, 0), Duration: 100},
+			{Pos: geom.Pt(13, 0), Duration: 100},
+			{Pos: geom.Pt(11.5, 0), Duration: 50},
+		},
+		Gamma: 2.7,
+		Speed: 1,
+		K:     2,
+	}
+	planned := &Schedule{
+		Tours: []Tour{
+			{Stops: []Stop{{Node: 0, Duration: 100, Covers: []int{0, 2}}}},
+			{Stops: []Stop{{Node: 1, Duration: 100, Covers: []int{1}}}},
+		},
+	}
+	recomputeTourTimes(in, &planned.Tours[0])
+	recomputeTourTimes(in, &planned.Tours[1])
+	exec := Execute(in, planned)
+	if vs := Verify(in, exec); len(vs) != 0 {
+		t.Fatalf("executed schedule infeasible: %v", vs)
+	}
+	if exec.WaitTime <= 0 {
+		t.Error("expected a conflict wait")
+	}
+}
+
+func TestExecuteNoConflictNoWait(t *testing.T) {
+	in := handInstance()
+	planned := handSchedule()
+	exec := Execute(in, planned)
+	if exec.WaitTime != 0 {
+		t.Errorf("WaitTime = %v, want 0", exec.WaitTime)
+	}
+	if exec.Longest != planned.Longest {
+		t.Errorf("Longest = %v, want %v", exec.Longest, planned.Longest)
+	}
+}
+
+func TestExecutePreservesTourOrderAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := paperInstance(rng, 100, 3)
+	s, err := Appro(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := Execute(in, s)
+	for k := range s.Tours {
+		if len(exec.Tours[k].Stops) != len(s.Tours[k].Stops) {
+			t.Fatalf("tour %d: stop count changed", k)
+		}
+		for i := range s.Tours[k].Stops {
+			if exec.Tours[k].Stops[i].Node != s.Tours[k].Stops[i].Node {
+				t.Fatalf("tour %d: stop order changed", k)
+			}
+			if exec.Tours[k].Stops[i].Arrive+1e-9 < s.Tours[k].Stops[i].Arrive {
+				t.Fatalf("tour %d stop %d: executed arrival earlier than planned", k, i)
+			}
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "uncovered", Detail: "request 3"}
+	if got := v.String(); !strings.Contains(got, "uncovered") || !strings.Contains(got, "request 3") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package exact solves tiny instances of the K-optimal closed tour problem
+// (the paper's Definition 2) to optimality, via Held-Karp dynamic
+// programming per subset plus a min-max partition DP. It is exponential —
+// O(3^n) over at most ~16 nodes — and exists purely as a test oracle for
+// the approximation algorithms: ktour.MinMax and, through lower bounds,
+// Algorithm Appro.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+	"repro/internal/ktour"
+)
+
+// MaxNodes bounds the instance size the solver accepts.
+const MaxNodes = 16
+
+// MinMax computes the optimal longest-delay value and an optimal set of at
+// most K closed tours for the given instance. Tours are returned as node
+// index slices in visit order (depot implicit), aligned with the input
+// semantics of ktour.MinMax.
+func MinMax(in ktour.Input) (float64, [][]int, error) {
+	n := len(in.Nodes)
+	if n > MaxNodes {
+		return 0, nil, fmt.Errorf("exact: %d nodes exceeds limit %d", n, MaxNodes)
+	}
+	if in.K < 1 {
+		return 0, nil, fmt.Errorf("exact: K = %d, want >= 1", in.K)
+	}
+	if in.Speed <= 0 {
+		return 0, nil, fmt.Errorf("exact: speed = %v, want > 0", in.Speed)
+	}
+	if n == 0 {
+		tours := make([][]int, in.K)
+		for i := range tours {
+			tours[i] = []int{}
+		}
+		return 0, tours, nil
+	}
+
+	// Pairwise travel times; index n is the depot.
+	travel := make([][]float64, n+1)
+	pos := func(i int) geom.Point {
+		if i == n {
+			return in.Depot
+		}
+		return in.Nodes[i]
+	}
+	for i := range travel {
+		travel[i] = make([]float64, n+1)
+		for j := range travel[i] {
+			travel[i][j] = geom.Dist(pos(i), pos(j)) / in.Speed
+		}
+	}
+	service := func(i int) float64 {
+		if in.Service == nil {
+			return 0
+		}
+		return in.Service[i]
+	}
+
+	// Held-Karp: dp[S][j] = min travel of a path depot -> ... -> j
+	// visiting exactly the nodes of S (j in S). Service times are added
+	// afterwards since every node in S is served exactly once.
+	full := 1 << n
+	dp := make([][]float64, full)
+	parent := make([][]int8, full)
+	for S := 1; S < full; S++ {
+		dp[S] = make([]float64, n)
+		parent[S] = make([]int8, n)
+		for j := range dp[S] {
+			dp[S][j] = math.Inf(1)
+			parent[S][j] = -1
+		}
+	}
+	for j := 0; j < n; j++ {
+		dp[1<<j][j] = travel[n][j]
+	}
+	for S := 1; S < full; S++ {
+		for j := 0; j < n; j++ {
+			if S&(1<<j) == 0 || math.IsInf(dp[S][j], 1) {
+				continue
+			}
+			for m := 0; m < n; m++ {
+				if S&(1<<m) != 0 {
+					continue
+				}
+				nS := S | 1<<m
+				if c := dp[S][j] + travel[j][m]; c < dp[nS][m] {
+					dp[nS][m] = c
+					parent[nS][m] = int8(j)
+				}
+			}
+		}
+	}
+	// tourCost[S] = optimal closed-tour delay serving exactly S.
+	tourCost := make([]float64, full)
+	tourEnd := make([]int8, full)
+	serviceSum := make([]float64, full)
+	for S := 1; S < full; S++ {
+		lsb := bits.TrailingZeros(uint(S))
+		serviceSum[S] = serviceSum[S&(S-1)] + service(lsb)
+		best, bestJ := math.Inf(1), int8(-1)
+		for j := 0; j < n; j++ {
+			if S&(1<<j) == 0 {
+				continue
+			}
+			if c := dp[S][j] + travel[j][n]; c < best {
+				best, bestJ = c, int8(j)
+			}
+		}
+		tourCost[S] = best + serviceSum[S]
+		tourEnd[S] = bestJ
+	}
+
+	// Partition DP: f[k][S] = min possible max tour cost covering S with
+	// at most k tours.
+	k := in.K
+	if k > n {
+		k = n // extra vehicles stay at the depot
+	}
+	f := make([][]float64, k+1)
+	choice := make([][]int, k+1)
+	for i := range f {
+		f[i] = make([]float64, full)
+		choice[i] = make([]int, full)
+		for S := range f[i] {
+			f[i][S] = math.Inf(1)
+		}
+		f[i][0] = 0
+	}
+	for S := 1; S < full; S++ {
+		f[1][S] = tourCost[S]
+		choice[1][S] = S
+	}
+	for kk := 2; kk <= k; kk++ {
+		for S := 1; S < full; S++ {
+			// Enumerate non-empty subsets T of S as the last tour.
+			for T := S; T > 0; T = (T - 1) & S {
+				c := tourCost[T]
+				if rest := f[kk-1][S&^T]; rest > c {
+					c = rest
+				}
+				if c < f[kk][S] {
+					f[kk][S] = c
+					choice[kk][S] = T
+				}
+			}
+		}
+	}
+
+	// Reconstruct tours.
+	tours := make([][]int, in.K)
+	for i := range tours {
+		tours[i] = []int{}
+	}
+	S := full - 1
+	for kk := k; kk >= 1 && S != 0; kk-- {
+		T := choice[kk][S]
+		if kk == 1 {
+			T = S
+		}
+		tours[kk-1] = reconstructPath(dp, parent, tourEnd[T], T)
+		S &^= T
+	}
+	return f[k][full-1], tours, nil
+}
+
+// reconstructPath walks the Held-Karp parents back from end over set S.
+func reconstructPath(dp [][]float64, parent [][]int8, end int8, S int) []int {
+	var rev []int
+	j := end
+	for S != 0 && j >= 0 {
+		rev = append(rev, int(j))
+		pj := parent[S][j]
+		S &^= 1 << j
+		j = pj
+	}
+	for i, jj := 0, len(rev)-1; i < jj; i, jj = i+1, jj-1 {
+		rev[i], rev[jj] = rev[jj], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,231 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ktour"
+)
+
+func randInput(rng *rand.Rand, n, k int) ktour.Input {
+	in := ktour.Input{
+		Depot:   geom.Pt(5, 5),
+		Nodes:   make([]geom.Point, n),
+		Service: make([]float64, n),
+		Speed:   1,
+		K:       k,
+	}
+	for i := range in.Nodes {
+		in.Nodes[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		in.Service[i] = rng.Float64() * 5
+	}
+	return in
+}
+
+func TestMinMaxValidation(t *testing.T) {
+	if _, _, err := MinMax(ktour.Input{K: 1, Speed: 1, Nodes: make([]geom.Point, MaxNodes+1)}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, _, err := MinMax(ktour.Input{K: 0, Speed: 1}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, _, err := MinMax(ktour.Input{K: 1, Speed: 0}); err == nil {
+		t.Error("speed=0 accepted")
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	v, tours, err := MinMax(ktour.Input{Depot: geom.Pt(0, 0), K: 3, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 || len(tours) != 3 {
+		t.Errorf("v=%v tours=%v", v, tours)
+	}
+}
+
+func TestMinMaxSingleNode(t *testing.T) {
+	in := ktour.Input{
+		Depot:   geom.Pt(0, 0),
+		Nodes:   []geom.Point{geom.Pt(3, 4)},
+		Service: []float64{7},
+		Speed:   1,
+		K:       2,
+	}
+	v, tours, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-17) > 1e-9 {
+		t.Errorf("v = %v, want 17", v)
+	}
+	total := 0
+	for _, tour := range tours {
+		total += len(tour)
+	}
+	if total != 1 {
+		t.Errorf("tours = %v", tours)
+	}
+}
+
+func TestMinMaxKnownGeometry(t *testing.T) {
+	// Two opposite nodes, K=2: optimal is one vehicle each, max delay
+	// 2*10 + service 3.
+	in := ktour.Input{
+		Depot:   geom.Pt(0, 0),
+		Nodes:   []geom.Point{geom.Pt(10, 0), geom.Pt(-10, 0)},
+		Service: []float64{3, 3},
+		Speed:   1,
+		K:       2,
+	}
+	v, _, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-23) > 1e-9 {
+		t.Errorf("v = %v, want 23", v)
+	}
+	// With K=1 the vehicle must do both: 10 + 20 + 10 travel + 6 service.
+	in.K = 1
+	v1, _, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-46) > 1e-9 {
+		t.Errorf("K=1 v = %v, want 46", v1)
+	}
+}
+
+// TestMatchesBruteForcePermutations cross-checks the DP against naive
+// enumeration of all assignments and orders on very small instances.
+func TestMatchesBruteForcePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		in := randInput(rng, n, k)
+		got, tours, err := MinMax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(in)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d): DP %v, brute force %v", trial, n, k, got, want)
+		}
+		// Reconstructed tours must cover all nodes once and achieve got.
+		var all []int
+		longest := 0.0
+		for _, tour := range tours {
+			all = append(all, tour...)
+			if d := ktour.TourDelay(in, tour); d > longest {
+				longest = d
+			}
+		}
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("trial %d: tours not a partition: %v", trial, tours)
+			}
+		}
+		if math.Abs(longest-got) > 1e-9 {
+			t.Fatalf("trial %d: reconstructed longest %v != reported %v", trial, longest, got)
+		}
+	}
+}
+
+// bruteForce enumerates every assignment of nodes to vehicles and every
+// visiting order.
+func bruteForce(in ktour.Input) float64 {
+	n := len(in.Nodes)
+	assign := make([]int, n)
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			worst := 0.0
+			for k := 0; k < in.K; k++ {
+				var group []int
+				for v, a := range assign {
+					if a == k {
+						group = append(group, v)
+					}
+				}
+				if d := bestOrderDelay(in, group); d > worst {
+					worst = d
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		for k := 0; k < in.K; k++ {
+			assign[i] = k
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func bestOrderDelay(in ktour.Input, group []int) float64 {
+	if len(group) == 0 {
+		return 0
+	}
+	perm := append([]int(nil), group...)
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perm) {
+			if d := ktour.TourDelay(in, perm); d < best {
+				best = d
+			}
+			return
+		}
+		for j := i; j < len(perm); j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestKtourWithinFactorOfOptimal is the approximation-quality oracle test:
+// the heuristic ktour.MinMax must stay within a small constant of the true
+// optimum on random instances.
+func TestKtourWithinFactorOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	worst := 1.0
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 nodes
+		k := 1 + rng.Intn(3)
+		in := randInput(rng, n, k)
+		opt, _, err := MinMax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, err := ktour.MinMax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt <= 0 {
+			continue
+		}
+		ratio := heur.Longest / opt
+		if ratio < 1-1e-9 {
+			t.Fatalf("trial %d: heuristic %v beat optimum %v", trial, heur.Longest, opt)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 5+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d): ratio %.3f exceeds published bound 5", trial, n, k, ratio)
+		}
+	}
+	t.Logf("worst heuristic/optimal ratio observed: %.3f", worst)
+}

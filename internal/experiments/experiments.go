@@ -1,0 +1,564 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section VI): Figures 3, 4 and 5, each with an (a) panel — average
+// longest tour duration — and a (b) panel — average dead duration per
+// sensor over the one-year monitoring period. It also defines the
+// ablation experiments called out in DESIGN.md.
+//
+// Each experiment sweeps one parameter, simulates `Instances` independent
+// networks per sweep point for every algorithm (the paper uses 100; the
+// default here is smaller for tractability and configurable), and reports
+// the mean across instances, exactly like the paper's figures.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ktour"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Instances is the number of random networks per sweep point
+	// (paper: 100). 0 means 10.
+	Instances int
+	// Seed offsets the per-instance generator seeds, for variance
+	// studies. Runs with equal seeds are fully reproducible.
+	Seed int64
+	// Duration is the simulated monitoring period; 0 means one year.
+	Duration float64
+	// BatchWindow is the dispatch batching window; 0 means the
+	// harness default (24 h).
+	BatchWindow float64
+	// Workers bounds the number of concurrent simulations; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Verify runs the feasibility verifier inside every simulation
+	// round and records violations.
+	Verify bool
+	// Progress, when non-nil, receives a line per completed cell.
+	Progress func(msg string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instances <= 0 {
+		o.Instances = 10
+	}
+	if o.Duration <= 0 {
+		o.Duration = sim.Year
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = sim.DefaultBatchWindow
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Series is one algorithm's curve over the sweep.
+type Series struct {
+	// Label is the algorithm name.
+	Label string `json:"label"`
+	// Y has one mean value per sweep point (same order as Figure.X).
+	Y []float64 `json:"y"`
+	// Std has the matching standard deviations across instances.
+	Std []float64 `json:"std"`
+}
+
+// Figure is a regenerated evaluation figure.
+type Figure struct {
+	// ID is the experiment id, e.g. "3a".
+	ID string `json:"id"`
+	// Title describes the experiment.
+	Title string `json:"title"`
+	// XLabel and YLabel name the axes, with units.
+	XLabel string `json:"x_label"`
+	YLabel string `json:"y_label"`
+	// X holds the sweep points.
+	X []float64 `json:"x"`
+	// Series holds one curve per algorithm, paper order.
+	Series []Series `json:"series"`
+	// Violations accumulates feasibility violations when verification is
+	// on; it must be zero.
+	Violations int `json:"violations"`
+}
+
+// point identifies one simulation cell of the sweep grid.
+type point struct {
+	xi, pi, inst int
+}
+
+type cellResult struct {
+	point
+	longestH  float64 // hours
+	deadMin   float64 // minutes
+	violation int
+}
+
+// sweepSpec describes a parameter sweep.
+type sweepSpec struct {
+	id, title, xlabel string
+	xs                []float64
+	// setup returns the workload parameters and charger count for a
+	// sweep value.
+	setup func(x float64) (workload.Params, int)
+}
+
+// planners returns the five algorithms in the paper's presentation order.
+func planners() []core.Planner {
+	return []core.Planner{
+		core.ApproPlanner{},
+		baselines.KEDF{},
+		baselines.NETWRAP{},
+		baselines.AA{},
+		baselines.KMinMax{},
+	}
+}
+
+// PlannerNames returns the algorithm names in the paper's order.
+func PlannerNames() []string {
+	ps := planners()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+func figure3() sweepSpec {
+	return sweepSpec{
+		id:     "3",
+		title:  "varying the network size n (K = 2)",
+		xlabel: "network size n",
+		xs:     []float64{200, 400, 600, 800, 1000, 1200},
+		setup: func(x float64) (workload.Params, int) {
+			return workload.NewParams(int(x)), 2
+		},
+	}
+}
+
+func figure4() sweepSpec {
+	return sweepSpec{
+		id:     "4",
+		title:  "varying the maximum data rate b_max (n = 1000, K = 2)",
+		xlabel: "b_max (kbps)",
+		xs:     []float64{10, 20, 30, 40, 50},
+		setup: func(x float64) (workload.Params, int) {
+			p := workload.NewParams(1000)
+			p.BMaxBps = x * 1e3
+			return p, 2
+		},
+	}
+}
+
+func figure5() sweepSpec {
+	return sweepSpec{
+		id:     "5",
+		title:  "varying the number of chargers K (n = 1000)",
+		xlabel: "number of mobile chargers K",
+		xs:     []float64{1, 2, 3, 4, 5},
+		setup: func(x float64) (workload.Params, int) {
+			return workload.NewParams(1000), int(x)
+		},
+	}
+}
+
+// figureClustered is not in the paper: it sweeps the deployment's cluster
+// count at n = 1000, K = 2 to show that multi-node charging's advantage
+// grows with spatial density (clustered deployments are where a single
+// sojourn location covers many sensors).
+func figureClustered() sweepSpec {
+	return sweepSpec{
+		id:     "C",
+		title:  "varying deployment clustering (n = 1000, K = 2; 0 = uniform)",
+		xlabel: "number of deployment clusters",
+		xs:     []float64{0, 32, 16, 8, 4},
+		setup: func(x float64) (workload.Params, int) {
+			p := workload.NewParams(1000)
+			p.Clusters = int(x)
+			p.ClusterStd = 6
+			return p, 2
+		},
+	}
+}
+
+// Run executes the sweep behind the given figure pair and returns both
+// panels: (a) average longest tour duration in hours and (b) average dead
+// duration per sensor in minutes. id must be "3", "4" or "5" (the paper's
+// figures) or "C" (this reproduction's clustering extension).
+func Run(id string, opt Options) (a, b *Figure, err error) {
+	var spec sweepSpec
+	switch id {
+	case "3":
+		spec = figure3()
+	case "4":
+		spec = figure4()
+	case "5":
+		spec = figure5()
+	case "C", "c":
+		spec = figureClustered()
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown figure %q (want 3, 4, 5 or C)", id)
+	}
+	return runSweep(spec, opt)
+}
+
+func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
+	opt = opt.withDefaults()
+	ps := planners()
+
+	var cells []point
+	for xi := range spec.xs {
+		for pi := range ps {
+			for inst := 0; inst < opt.Instances; inst++ {
+				cells = append(cells, point{xi: xi, pi: pi, inst: inst})
+			}
+		}
+	}
+	results := make([]cellResult, len(cells))
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	work := make(chan int)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				c := cells[ci]
+				res, cerr := runCell(spec, opt, ps[c.pi], c)
+				if cerr != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = cerr
+					}
+					mu.Unlock()
+					continue
+				}
+				results[ci] = *res
+				if opt.Progress != nil {
+					opt.Progress(fmt.Sprintf("fig%s %s=%v %s instance %d: longest %.1f h, dead %.1f min",
+						spec.id, spec.xlabel, spec.xs[c.xi], ps[c.pi].Name(), c.inst,
+						res.longestH, res.deadMin))
+				}
+			}
+		}()
+	}
+	for ci := range cells {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, nil, firstEr
+	}
+
+	// Aggregate into the two panels.
+	a = &Figure{
+		ID:     spec.id + "a",
+		Title:  "Average longest tour duration, " + spec.title,
+		XLabel: spec.xlabel,
+		YLabel: "avg longest tour duration (h)",
+		X:      spec.xs,
+	}
+	b = &Figure{
+		ID:     spec.id + "b",
+		Title:  "Average dead duration per sensor during T_M, " + spec.title,
+		XLabel: spec.xlabel,
+		YLabel: "avg dead duration per sensor (min)",
+		X:      spec.xs,
+	}
+	for pi, p := range ps {
+		sa := Series{Label: p.Name()}
+		sb := Series{Label: p.Name()}
+		for xi := range spec.xs {
+			var accA, accB stats.Accumulator
+			for _, r := range results {
+				if r.xi == xi && r.pi == pi {
+					accA.Add(r.longestH)
+					accB.Add(r.deadMin)
+					a.Violations += r.violation
+				}
+			}
+			sa.Y = append(sa.Y, accA.Mean())
+			sa.Std = append(sa.Std, accA.StdDev())
+			sb.Y = append(sb.Y, accB.Mean())
+			sb.Std = append(sb.Std, accB.StdDev())
+		}
+		a.Series = append(a.Series, sa)
+		b.Series = append(b.Series, sb)
+	}
+	b.Violations = a.Violations
+	return a, b, nil
+}
+
+func runCell(spec sweepSpec, opt Options, planner core.Planner, c point) (*cellResult, error) {
+	params, k := spec.setup(spec.xs[c.xi])
+	// Instance seeds depend only on the sweep point and instance index,
+	// so every algorithm sees the same 100 (or Instances) networks —
+	// exactly the paper's protocol.
+	seed := opt.Seed + int64(c.xi)*1009 + int64(c.inst) + 1
+	nw, err := workload.Generate(params, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(nw, k, planner, sim.Config{
+		Duration:    opt.Duration,
+		BatchWindow: opt.BatchWindow,
+		Verify:      opt.Verify,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig%s x=%v %s: %w", spec.id, spec.xs[c.xi], planner.Name(), err)
+	}
+	return &cellResult{
+		point:     c,
+		longestH:  res.AvgLongest / 3600,
+		deadMin:   res.AvgDeadPerSensor / 60,
+		violation: res.Violations,
+	}, nil
+}
+
+// Ablation identifiers. See RunAblation.
+const (
+	// AblationMIS compares MIS selection strategies inside Appro.
+	AblationMIS = "mis"
+	// AblationInsertion compares the paper's latest-finish-time-sorted
+	// insertion order against arbitrary order.
+	AblationInsertion = "insertion"
+	// AblationTourBuilder compares grand-tour constructions inside the
+	// K-minMax subroutine.
+	AblationTourBuilder = "tourbuilder"
+	// AblationDispatch compares the paper's synchronized round-based
+	// dispatch against independent per-charger dispatch over a full
+	// simulated year (unlike the other ablations, which plan single
+	// rounds).
+	AblationDispatch = "dispatch"
+	// AblationPartial sweeps the partial-charging level (the model of the
+	// paper's reference [15]) over year-long simulations.
+	AblationPartial = "partial"
+)
+
+// AblationResult is one variant's aggregate outcome for a single dense
+// planning round at a fixed request-set size.
+type AblationResult struct {
+	// Variant names the configuration.
+	Variant string
+	// N is the request-set size the round plans for.
+	N int
+	// LongestH is the mean longest tour delay in hours.
+	LongestH float64
+	// Stops is the mean number of sojourn stops across the K tours.
+	Stops float64
+	// WaitS is the mean total conflict-avoidance wait in seconds.
+	WaitS float64
+}
+
+// ablationSizes are the request densities the ablations plan at. Multi-node
+// consolidation — and hence the MIS/insertion design choices — only binds
+// on dense request sets, so ablations plan single rounds at these sizes
+// rather than running the (sparser-batch) year-long simulation.
+var ablationSizes = []int{300, 600, 1200}
+
+// RunAblation plans dense single rounds (K = 2, paper field parameters)
+// under every variant of the named ablation and returns one row per
+// (variant, request-set size) pair. The "dispatch" ablation instead runs
+// year-long simulations (one per network size in ablationSizes) comparing
+// the two dispatch protocols; its LongestH column is then the mean
+// longest tour duration and WaitS the mean dead time per sensor in
+// seconds.
+func RunAblation(id string, opt Options) ([]AblationResult, error) {
+	opt = opt.withDefaults()
+	switch id {
+	case AblationDispatch:
+		return runDispatchAblation(opt)
+	case AblationPartial:
+		return runPartialAblation(opt)
+	}
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	var variants []variant
+	switch id {
+	case AblationMIS:
+		for _, ord := range []graph.MISOrder{
+			graph.MISMaxDegree, graph.MISMinDegree, graph.MISLexicographic, graph.MISRandom,
+		} {
+			variants = append(variants, variant{name: "mis-" + ord.String(), opts: core.Options{MISOrder: ord}})
+		}
+	case AblationInsertion:
+		variants = append(variants,
+			variant{name: "sorted-by-finish-time", opts: core.Options{}},
+			variant{name: "arbitrary-order", opts: core.Options{NoSortByFinishTime: true}},
+		)
+	case AblationTourBuilder:
+		for _, b := range []ktour.Builder{
+			ktour.BuilderChristofides, ktour.BuilderMST, ktour.BuilderNearestNeighbor,
+		} {
+			variants = append(variants, variant{name: "tour-" + b.String(), opts: core.Options{TourBuilder: b}})
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation %q", id)
+	}
+
+	var out []AblationResult
+	for _, v := range variants {
+		for _, n := range ablationSizes {
+			var accL, accS, accW stats.Accumulator
+			for inst := 0; inst < opt.Instances; inst++ {
+				in := denseRound(n, opt.Seed+int64(inst)+1)
+				s, err := core.ApproPlanner{Opts: v.opts}.Plan(in)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+				}
+				if opt.Verify {
+					if vs := core.Verify(in, s); len(vs) > 0 {
+						return nil, fmt.Errorf("experiments: ablation %s n=%d: infeasible: %v", v.name, n, vs[0])
+					}
+				}
+				accL.Add(s.Longest / 3600)
+				accS.Add(float64(s.NumStops()))
+				accW.Add(s.WaitTime)
+			}
+			out = append(out, AblationResult{
+				Variant:  v.name,
+				N:        n,
+				LongestH: accL.Mean(),
+				Stops:    accS.Mean(),
+				WaitS:    accW.Mean(),
+			})
+		}
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("ablation %s: %s done", id, v.name))
+		}
+	}
+	return out, nil
+}
+
+// runDispatchAblation simulates a year under both dispatch protocols with
+// Appro, per network size.
+func runDispatchAblation(opt Options) ([]AblationResult, error) {
+	modes := []sim.DispatchMode{sim.DispatchSynchronized, sim.DispatchIndependent}
+	var out []AblationResult
+	for _, mode := range modes {
+		for _, n := range ablationSizes {
+			var accL, accD, accS stats.Accumulator
+			for inst := 0; inst < opt.Instances; inst++ {
+				nw, err := workload.Generate(workload.NewParams(n), opt.Seed+int64(inst)+1)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(nw, 2, core.ApproPlanner{}, sim.Config{
+					Duration:    opt.Duration,
+					BatchWindow: opt.BatchWindow,
+					Dispatch:    mode,
+					Verify:      opt.Verify,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: dispatch ablation %v n=%d: %w", mode, n, err)
+				}
+				if opt.Verify && res.Violations > 0 {
+					return nil, fmt.Errorf("experiments: dispatch ablation %v n=%d: %d violations", mode, n, res.Violations)
+				}
+				accL.Add(res.AvgLongest / 3600)
+				accD.Add(res.AvgDeadPerSensor)
+				totalStops := 0
+				for _, r := range res.Rounds {
+					totalStops += r.Stops
+				}
+				if len(res.Rounds) > 0 {
+					accS.Add(float64(totalStops) / float64(len(res.Rounds)))
+				}
+			}
+			out = append(out, AblationResult{
+				Variant:  "dispatch-" + mode.String(),
+				N:        n,
+				LongestH: accL.Mean(),
+				Stops:    accS.Mean(),
+				WaitS:    accD.Mean(),
+			})
+		}
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("ablation dispatch: %v done", mode))
+		}
+	}
+	return out, nil
+}
+
+// runPartialAblation simulates a year under Appro at n = 1000, K = 2 for
+// several partial-charging levels. LongestH is the mean longest tour
+// duration, WaitS the mean dead time per sensor in seconds, and N encodes
+// the charging level in percent.
+func runPartialAblation(opt Options) ([]AblationResult, error) {
+	levels := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}
+	var out []AblationResult
+	for _, level := range levels {
+		var accL, accD, accS stats.Accumulator
+		for inst := 0; inst < opt.Instances; inst++ {
+			nw, err := workload.Generate(workload.NewParams(1000), opt.Seed+int64(inst)+1)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(nw, 2, core.ApproPlanner{}, sim.Config{
+				Duration:    opt.Duration,
+				BatchWindow: opt.BatchWindow,
+				ChargeLevel: level,
+				Verify:      opt.Verify,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: partial ablation level=%v: %w", level, err)
+			}
+			accL.Add(res.AvgLongest / 3600)
+			accD.Add(res.AvgDeadPerSensor)
+			totalStops := 0
+			for _, r := range res.Rounds {
+				totalStops += r.Stops
+			}
+			if len(res.Rounds) > 0 {
+				accS.Add(float64(totalStops) / float64(len(res.Rounds)))
+			}
+		}
+		out = append(out, AblationResult{
+			Variant:  fmt.Sprintf("charge-to-%d%%", int(level*100)),
+			N:        int(level * 100),
+			LongestH: accL.Mean(),
+			Stops:    accS.Mean(),
+			WaitS:    accD.Mean(),
+		})
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("ablation partial: level %.0f%% done", level*100))
+		}
+	}
+	return out, nil
+}
+
+// denseRound synthesizes a dense request set with the paper's planning
+// parameters: uniform positions in the 100 x 100 m field, charge durations
+// in [1.2 h, 1.5 h] (sensors requested at ~20% residual capacity).
+func denseRound(n int, seed int64) *core.Instance {
+	nw, err := workload.Generate(workload.NewParams(n), seed)
+	if err != nil {
+		// NewParams(n) with n >= 0 always validates.
+		panic(err)
+	}
+	in := &core.Instance{Depot: nw.Depot, Gamma: nw.Gamma, Speed: nw.Speed, K: 2}
+	for i := range nw.Sensors {
+		frac := 0.05 + 0.15*float64(i%4)/4 // 5-20% residual
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      nw.Sensors[i].Pos,
+			Duration: (1 - frac) * nw.Sensors[i].Battery.Capacity / nw.ChargeRate,
+			Lifetime: float64(1+i%7) * 86400,
+		})
+	}
+	return in
+}

@@ -1,0 +1,175 @@
+package geom
+
+import "math"
+
+// Grid is a spatial hash over a fixed point set that answers fixed-radius
+// neighbor queries in expected O(1 + k) time, where k is the number of
+// results. It is the workhorse behind unit-disk graph construction: building
+// the charging graph G_c over n sensors costs O(n + m) instead of O(n^2).
+//
+// The grid is immutable after construction; rebuild it if the point set
+// changes. A zero Grid is not usable — construct one with NewGrid.
+type Grid struct {
+	cell   float64
+	pts    []Point
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket map[int][]int32
+}
+
+// NewGrid indexes pts with square cells of the given size. The cell size
+// should match the dominant query radius (e.g. the charging radius gamma);
+// queries with other radii remain correct but scan more cells. A
+// non-positive cell size is replaced by 1.
+func NewGrid(pts []Point, cell float64) *Grid {
+	if cell <= 0 {
+		cell = 1
+	}
+	g := &Grid{
+		cell:   cell,
+		pts:    pts,
+		bucket: make(map[int][]int32, len(pts)),
+	}
+	if len(pts) == 0 {
+		g.cols, g.rows = 1, 1
+		return g
+	}
+	b := Bounds(pts)
+	g.minX, g.minY = b.Min.X, b.Min.Y
+	g.cols = int(math.Floor((b.Max.X-b.Min.X)/cell)) + 1
+	g.rows = int(math.Floor((b.Max.Y-b.Min.Y)/cell)) + 1
+	for i, p := range pts {
+		key := g.key(p)
+		g.bucket[key] = append(g.bucket[key], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Point returns the i-th indexed point.
+func (g *Grid) Point(i int) Point { return g.pts[i] }
+
+func (g *Grid) key(p Point) int {
+	cx := int(math.Floor((p.X - g.minX) / g.cell))
+	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	return cy*g.cols + cx
+}
+
+// Neighbors returns the indices of all indexed points within radius r of q,
+// including any indexed point coincident with q. The result order is
+// unspecified. The caller may pass a reusable buffer via dst to avoid
+// allocation; pass nil otherwise.
+func (g *Grid) Neighbors(q Point, r float64, dst []int) []int {
+	dst = dst[:0]
+	if r < 0 || len(g.pts) == 0 {
+		return dst
+	}
+	r2 := r * r
+	span := int(math.Ceil(r/g.cell)) + 1
+	cx := int(math.Floor((q.X - g.minX) / g.cell))
+	cy := int(math.Floor((q.Y - g.minY) / g.cell))
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, idx := range g.bucket[y*g.cols+x] {
+				if DistSq(q, g.pts[idx]) <= r2 {
+					dst = append(dst, int(idx))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NeighborsOf returns the indices of all indexed points within radius r of
+// the i-th indexed point, excluding i itself.
+func (g *Grid) NeighborsOf(i int, r float64, dst []int) []int {
+	dst = g.Neighbors(g.pts[i], r, dst)
+	for j, idx := range dst {
+		if idx == i {
+			dst[j] = dst[len(dst)-1]
+			dst = dst[:len(dst)-1]
+			break
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the indexed point closest to q and its
+// distance. It returns (-1, +Inf) when the grid is empty. Ties are broken
+// by the lowest index.
+func (g *Grid) Nearest(q Point) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	if len(g.pts) == 0 {
+		return best, bestD2
+	}
+	// Expand ring by ring around q's cell until a hit is found, then one
+	// extra ring to guarantee correctness (a closer point can live in the
+	// next ring out).
+	cx := int(math.Floor((q.X - g.minX) / g.cell))
+	cy := int(math.Floor((q.Y - g.minY) / g.cell))
+	maxSpan := g.cols
+	if g.rows > maxSpan {
+		maxSpan = g.rows
+	}
+	// Also cover a query point far outside the indexed bounds.
+	ox := 0
+	if cx < 0 {
+		ox = -cx
+	} else if cx >= g.cols {
+		ox = cx - g.cols + 1
+	}
+	oy := 0
+	if cy < 0 {
+		oy = -cy
+	} else if cy >= g.rows {
+		oy = cy - g.rows + 1
+	}
+	off := ox
+	if oy > off {
+		off = oy
+	}
+	maxSpan += off
+	for span := 0; span <= maxSpan; span++ {
+		// A point in a ring at cell-distance span is at least
+		// (span-1)*cell away from q, so once that lower bound exceeds
+		// the current best the search is complete.
+		if best >= 0 && float64(span-1)*g.cell > math.Sqrt(bestD2) {
+			break
+		}
+		for dy := -span; dy <= span; dy++ {
+			y := cy + dy
+			if y < 0 || y >= g.rows {
+				continue
+			}
+			for dx := -span; dx <= span; dx++ {
+				// Ring only: skip interior cells already scanned.
+				if dx > -span && dx < span && dy > -span && dy < span {
+					continue
+				}
+				x := cx + dx
+				if x < 0 || x >= g.cols {
+					continue
+				}
+				for _, idx := range g.bucket[y*g.cols+x] {
+					d2 := DistSq(q, g.pts[idx])
+					if d2 < bestD2 || (d2 == bestD2 && int(idx) < best) {
+						best, bestD2 = int(idx), d2
+					}
+				}
+			}
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}

@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteNeighbors is the quadratic reference implementation used as an oracle.
+func bruteNeighbors(pts []Point, q Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if Within(q, p, r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedCopy(xs []int) []int {
+	c := append([]int(nil), xs...)
+	sort.Ints(c)
+	return c
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := NewGrid(nil, 1)
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Neighbors(Pt(0, 0), 10, nil); len(got) != 0 {
+		t.Errorf("Neighbors on empty grid = %v", got)
+	}
+	if i, d := g.Nearest(Pt(0, 0)); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on empty grid = %d, %v", i, d)
+	}
+}
+
+func TestGridNeighborsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		cell := 0.5 + rng.Float64()*5
+		g := NewGrid(pts, cell)
+		for q := 0; q < 20; q++ {
+			query := Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+			r := rng.Float64() * 15
+			got := sortedCopy(g.Neighbors(query, r, nil))
+			want := sortedCopy(bruteNeighbors(pts, query, r))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d neighbors, want %d (r=%v)", trial, len(got), len(want), r)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: neighbors mismatch: got %v want %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGridNeighborsOfExcludesSelf(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(10, 10)}
+	g := NewGrid(pts, 2.7)
+	got := sortedCopy(g.NeighborsOf(0, 1.5, nil))
+	want := []int{1, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("NeighborsOf(0) = %v, want %v", got, want)
+	}
+}
+
+func TestGridNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		g := NewGrid(pts, 2.7)
+		for q := 0; q < 20; q++ {
+			// Include queries far outside the indexed bounds.
+			query := Pt(rng.Float64()*400-150, rng.Float64()*400-150)
+			gotIdx, gotD := g.Nearest(query)
+			wantIdx, wantD := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := Dist(query, p); d < wantD {
+					wantIdx, wantD = i, d
+				}
+			}
+			if math.Abs(gotD-wantD) > 1e-9 {
+				t.Fatalf("trial %d: Nearest(%v) dist = %v (idx %d), want %v (idx %d)",
+					trial, query, gotD, gotIdx, wantD, wantIdx)
+			}
+		}
+	}
+}
+
+func TestGridCoincidentPoints(t *testing.T) {
+	pts := []Point{Pt(5, 5), Pt(5, 5), Pt(5, 5)}
+	g := NewGrid(pts, 1)
+	got := g.Neighbors(Pt(5, 5), 0, nil)
+	if len(got) != 3 {
+		t.Errorf("coincident points: got %d neighbors, want 3", len(got))
+	}
+}
+
+func TestGridReusesBuffer(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1)}
+	g := NewGrid(pts, 1)
+	buf := make([]int, 0, 8)
+	out := g.Neighbors(Pt(0, 0), 5, buf)
+	if len(out) != 2 {
+		t.Fatalf("got %d", len(out))
+	}
+	out2 := g.Neighbors(Pt(100, 100), 1, out)
+	if len(out2) != 0 {
+		t.Errorf("buffer reuse: got %v, want empty", out2)
+	}
+}
+
+func BenchmarkGridNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 1200)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	g := NewGrid(pts, 2.7)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(pts[i%len(pts)], 2.7, buf)
+	}
+}

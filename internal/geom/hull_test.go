@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2),
+		Pt(1, 1), Pt(0.5, 1.5), // interior
+		Pt(1, 0), // collinear boundary, dropped
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v, want the 4 corners", hull)
+	}
+	if p := HullPerimeter(pts); math.Abs(p-8) > 1e-9 {
+		t.Errorf("perimeter = %v, want 8", p)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Errorf("empty hull = %v", h)
+	}
+	one := ConvexHull([]Point{Pt(3, 3), Pt(3, 3)})
+	if len(one) != 1 {
+		t.Errorf("coincident points hull = %v", one)
+	}
+	two := ConvexHull([]Point{Pt(0, 0), Pt(5, 0)})
+	if len(two) != 2 {
+		t.Errorf("segment hull = %v", two)
+	}
+	if p := HullPerimeter([]Point{Pt(0, 0), Pt(5, 0)}); math.Abs(p-10) > 1e-9 {
+		t.Errorf("segment perimeter = %v, want 10 (out and back)", p)
+	}
+	collinear := ConvexHull([]Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)})
+	if len(collinear) != 2 {
+		t.Errorf("collinear hull = %v, want endpoints", collinear)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("trial %d: hull too small: %v", trial, hull)
+		}
+		// Every point is inside or on the hull: all cross products with
+		// consecutive hull edges are >= 0 (CCW orientation).
+		for _, p := range pts {
+			for i := range hull {
+				a, b := hull[i], hull[(i+1)%len(hull)]
+				cr := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+				if cr < -1e-7 {
+					t.Fatalf("trial %d: point %v outside hull edge %v-%v", trial, p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestHullPerimeterIsTourLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*50, rng.Float64()*50)
+		}
+		perim := HullPerimeter(pts)
+		// Any tour over all points (identity order here) is >= perimeter.
+		if tour := ClosedTourLength(pts); tour < perim-1e-9 {
+			t.Fatalf("trial %d: tour %v below hull perimeter %v", trial, tour, perim)
+		}
+	}
+}

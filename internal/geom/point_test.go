@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 1), Pt(1, 1), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-3, -4), Pt(0, 0), 5},
+		{"diagonal", Pt(1, 2), Pt(4, 6), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.p, tt.q); !almostEq(got, tt.want) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSqConsistent(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Clamp to a sane range to avoid overflow artifacts in Hypot vs
+		// the squared form.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Pt(clamp(ax), clamp(ay))
+		q := Pt(clamp(bx), clamp(by))
+		d := Dist(p, q)
+		return math.Abs(d*d-DistSq(p, q)) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e4) }
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		c := Pt(clamp(cx), clamp(cy))
+		if !almostEq(Dist(a, b), Dist(b, a)) {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		r    float64
+		want bool
+	}{
+		{"inside", Pt(0, 0), Pt(1, 1), 2, true},
+		{"on boundary", Pt(0, 0), Pt(3, 4), 5, true},
+		{"outside", Pt(0, 0), Pt(3, 4), 4.9, false},
+		{"zero radius same point", Pt(2, 2), Pt(2, 2), 0, true},
+		{"negative radius", Pt(0, 0), Pt(0, 0), -1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Within(tt.p, tt.q, tt.r); got != tt.want {
+				t.Errorf("Within(%v, %v, %v) = %v, want %v", tt.p, tt.q, tt.r, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, 5)
+	if got := p.Add(q); got != Pt(4, 7) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != Pt(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Pt(3, 4).Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Midpoint(p, q); got != Pt(2, 3.5) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Point{}) {
+		t.Errorf("Centroid(nil) = %v, want origin", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); got != Pt(1, 1) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestPathAndTourLength(t *testing.T) {
+	square := []Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+	if got := PathLength(square); !almostEq(got, 3) {
+		t.Errorf("PathLength = %v, want 3", got)
+	}
+	if got := ClosedTourLength(square); !almostEq(got, 4) {
+		t.Errorf("ClosedTourLength = %v, want 4", got)
+	}
+	if got := ClosedTourLength(nil); got != 0 {
+		t.Errorf("ClosedTourLength(nil) = %v, want 0", got)
+	}
+	if got := ClosedTourLength([]Point{Pt(5, 5)}); got != 0 {
+		t.Errorf("ClosedTourLength(single) = %v, want 0", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(100)
+	if r.Width() != 100 || r.Height() != 100 || r.Area() != 10000 {
+		t.Fatalf("Square(100) dims wrong: %v", r)
+	}
+	if c := r.Center(); c != Pt(50, 50) {
+		t.Errorf("Center = %v, want (50,50)", c)
+	}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(100, 100)) || r.Contains(Pt(100.01, 50)) {
+		t.Error("Contains boundary behavior wrong")
+	}
+	if got := r.Clamp(Pt(-5, 120)); got != Pt(0, 100) {
+		t.Errorf("Clamp = %v, want (0,100)", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if got := Bounds(nil); got != (Rect{}) {
+		t.Errorf("Bounds(nil) = %v", got)
+	}
+	pts := []Point{Pt(3, 7), Pt(-1, 2), Pt(5, -4)}
+	got := Bounds(pts)
+	want := Rect{Min: Pt(-1, -4), Max: Pt(5, 7)}
+	if got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !got.Contains(p) {
+			t.Errorf("Bounds does not contain %v", p)
+		}
+	}
+}

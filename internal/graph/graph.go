@@ -1,0 +1,184 @@
+// Package graph provides the undirected-graph machinery the scheduling
+// algorithms are built on: adjacency-list graphs, unit-disk graph
+// construction over point sets, maximal independent sets (the heart of
+// Algorithm Appro's steps 2 and 4), and basic traversal utilities.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Undirected is a simple undirected graph on vertices 0..n-1 with
+// adjacency lists. Self-loops and parallel edges are rejected.
+type Undirected struct {
+	adj   [][]int32
+	edges int
+}
+
+// NewUndirected returns an empty graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		n = 0
+	}
+	return &Undirected{adj: make([][]int32, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Undirected) Len() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Undirected) NumEdges() int { return g.edges }
+
+// AddEdge inserts the undirected edge {u, v}. It panics on out-of-range
+// vertices or self-loops, and is a no-op if the edge already exists.
+func (g *Undirected) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.edges++
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, u, v = g.adj[v], v, u
+	}
+	for _, w := range a {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of vertex u.
+func (g *Undirected) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Undirected) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Undirected) Neighbors(u int) []int32 { return g.adj[u] }
+
+// NeighborsSorted returns a sorted copy of u's adjacency list.
+func (g *Undirected) NeighborsSorted(u int) []int {
+	out := make([]int, len(g.adj[u]))
+	for i, w := range g.adj[u] {
+		out[i] = int(w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UnitDisk builds the graph on pts with an edge between every pair at
+// Euclidean distance <= radius. This is the paper's charging graph G_c when
+// radius is the charging range gamma, and (with the transmission range) the
+// communication graph G_s. Construction uses a spatial grid and costs
+// O(n + m) expected time.
+func UnitDisk(pts []geom.Point, radius float64) *Undirected {
+	g := NewUndirected(len(pts))
+	if radius < 0 || len(pts) == 0 {
+		return g
+	}
+	cell := radius
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := geom.NewGrid(pts, cell)
+	var buf []int
+	for u := range pts {
+		buf = grid.NeighborsOf(u, radius, buf)
+		for _, v := range buf {
+			if v > u { // each pair once
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// IntersectionGraph builds the paper's auxiliary graph H over the points
+// indexed by nodes: there is an edge between two nodes iff their disks of
+// the given radius intersect a common point of pts, i.e. the closed
+// neighborhoods N_c+(u) and N_c+(v) (taken over pts) share a sensor. For
+// points in general position this is implied by distance < 2*radius, but
+// the definition used here is the paper's exact set-intersection condition.
+//
+// nodes are indices into pts. The resulting graph has len(nodes) vertices,
+// vertex i standing for pts[nodes[i]].
+func IntersectionGraph(pts []geom.Point, nodes []int, radius float64) *Undirected {
+	h := NewUndirected(len(nodes))
+	if radius < 0 || len(nodes) == 0 {
+		return h
+	}
+	// coverSets[i] = sorted sensor indices within radius of nodes[i].
+	grid := geom.NewGrid(pts, radius)
+	coverSets := make([][]int, len(nodes))
+	var buf []int
+	for i, nd := range nodes {
+		buf = grid.Neighbors(pts[nd], radius, buf)
+		cs := make([]int, len(buf))
+		copy(cs, buf)
+		sort.Ints(cs)
+		coverSets[i] = cs
+	}
+	// Candidate pairs are nodes within 2*radius of each other; check the
+	// exact intersection condition on each candidate.
+	nodePts := make([]geom.Point, len(nodes))
+	for i, nd := range nodes {
+		nodePts[i] = pts[nd]
+	}
+	ngrid := geom.NewGrid(nodePts, 2*radius)
+	for i := range nodes {
+		buf = ngrid.NeighborsOf(i, 2*radius, buf)
+		for _, j := range buf {
+			if j <= i {
+				continue
+			}
+			if sortedIntersect(coverSets[i], coverSets[j]) {
+				h.AddEdge(i, j)
+			}
+		}
+	}
+	return h
+}
+
+// sortedIntersect reports whether two ascending int slices share an element.
+func sortedIntersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected(4)
+	if g.Len() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: Len=%d NumEdges=%d", g.Len(), g.NumEdges())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate ignored
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge(0,1) should be true both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) should be false")
+	}
+	if g.HasEdge(-1, 2) || g.HasEdge(0, 99) {
+		t.Error("HasEdge out of range should be false")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees wrong: deg(1)=%d deg(3)=%d", g.Degree(1), g.Degree(3))
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	ns := g.NeighborsSorted(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Errorf("NeighborsSorted(1) = %v", ns)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewUndirected(2)
+	for _, tc := range []struct {
+		name string
+		u, v int
+	}{
+		{"self loop", 0, 0},
+		{"u out of range", -1, 1},
+		{"v out of range", 0, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddEdge(%d,%d) did not panic", tc.u, tc.v)
+				}
+			}()
+			g.AddEdge(tc.u, tc.v)
+		})
+	}
+}
+
+func TestUnitDisk(t *testing.T) {
+	// Four points on a line spaced 1 apart; radius 1 connects only
+	// consecutive pairs, radius 2 also skips one.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	g1 := UnitDisk(pts, 1)
+	if g1.NumEdges() != 3 {
+		t.Errorf("radius 1: NumEdges = %d, want 3", g1.NumEdges())
+	}
+	g2 := UnitDisk(pts, 2)
+	if g2.NumEdges() != 5 {
+		t.Errorf("radius 2: NumEdges = %d, want 5", g2.NumEdges())
+	}
+	if g := UnitDisk(nil, 1); g.Len() != 0 {
+		t.Error("UnitDisk(nil) should be empty")
+	}
+	if g := UnitDisk(pts, -1); g.NumEdges() != 0 {
+		t.Error("negative radius should give no edges")
+	}
+}
+
+func TestUnitDiskMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		}
+		r := 0.5 + rng.Float64()*8
+		g := UnitDisk(pts, r)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				want := geom.Within(pts[u], pts[v], r)
+				if got := g.HasEdge(u, v); got != want {
+					t.Fatalf("trial %d: edge (%d,%d) = %v, want %v (d=%v r=%v)",
+						trial, u, v, got, want, geom.Dist(pts[u], pts[v]), r)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectionGraph(t *testing.T) {
+	// Sensors: two clusters. Nodes u=0 at (0,0) and v=3 at (1.8,0) with
+	// radius 1: disks overlap geometrically, and sensor 1 at (0.9,0) is in
+	// both coverage sets, so H must have the edge. Node w=4 at (5,0) shares
+	// nothing.
+	pts := []geom.Point{
+		geom.Pt(0, 0),   // 0: node u
+		geom.Pt(0.9, 0), // 1: shared sensor
+		geom.Pt(2.2, 0), // 2: only near v
+		geom.Pt(1.8, 0), // 3: node v
+		geom.Pt(5, 0),   // 4: node w
+	}
+	h := IntersectionGraph(pts, []int{0, 3, 4}, 1)
+	if h.Len() != 3 {
+		t.Fatalf("H.Len = %d", h.Len())
+	}
+	if !h.HasEdge(0, 1) {
+		t.Error("expected edge between nodes 0 and 3 (shared sensor)")
+	}
+	if h.HasEdge(0, 2) || h.HasEdge(1, 2) {
+		t.Error("node at (5,0) should be isolated in H")
+	}
+}
+
+func TestIntersectionGraphNoSharedSensor(t *testing.T) {
+	// Two nodes whose disks geometrically overlap but with NO sensor in
+	// the shared lens: the paper's condition N_c+(u) ∩ N_c+(v) ≠ ∅ is on
+	// sensor sets, so there must be no edge.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1.9, 0)}
+	h := IntersectionGraph(pts, []int{0, 1}, 1)
+	if h.HasEdge(0, 1) {
+		t.Error("no shared sensor: H should have no edge")
+	}
+}
+
+func TestIntersectionGraphEmpty(t *testing.T) {
+	if h := IntersectionGraph(nil, nil, 1); h.Len() != 0 {
+		t.Error("empty inputs should give empty graph")
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// LubyMIS computes a maximal independent set with Luby's classic
+// distributed algorithm: in each round every remaining vertex draws a
+// priority, joins the set iff its priority beats all remaining neighbors',
+// and winners' neighborhoods drop out. Rounds are data-parallel and run
+// across min(GOMAXPROCS, 8) goroutines, mirroring how the computation
+// would be sharded across machines; with high probability the algorithm
+// finishes in O(log n) rounds.
+//
+// Priorities are derived by hashing (seed, round, vertex), so the result
+// is deterministic for a fixed seed regardless of goroutine interleaving.
+// The returned set is ascending and satisfies IsMaximalIndependentSet.
+func LubyMIS(g *Undirected, seed int64) []int {
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	const (
+		stateAlive = iota
+		stateInSet
+		stateRemoved
+	)
+	state := make([]int8, n)
+	alive := n
+	var out []int
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	priority := func(round, v int) uint64 {
+		return splitmix64(uint64(seed) ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9)
+	}
+
+	// parallelFor runs fn over [0, n) sharded across the workers and
+	// waits for completion.
+	parallelFor := func(fn func(lo, hi int)) {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if lo >= n {
+				break
+			}
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	winners := make([]bool, n)
+	for round := 0; alive > 0; round++ {
+		// Phase 1 (parallel, read-only on state): local minima win.
+		// Ties break toward the lower vertex index, so two adjacent
+		// vertices can never both win.
+		parallelFor(func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				winners[v] = false
+				if state[v] != stateAlive {
+					continue
+				}
+				pv := priority(round, v)
+				win := true
+				for _, w := range g.Neighbors(v) {
+					if state[w] != stateAlive {
+						continue
+					}
+					pw := priority(round, int(w))
+					if pw < pv || (pw == pv && int(w) < v) {
+						win = false
+						break
+					}
+				}
+				winners[v] = win
+			}
+		})
+		// Phase 2 (sequential, cheap): commit winners, drop neighbors.
+		for v := 0; v < n; v++ {
+			if !winners[v] || state[v] != stateAlive {
+				continue
+			}
+			state[v] = stateInSet
+			alive--
+			out = append(out, v)
+			for _, w := range g.Neighbors(v) {
+				if state[w] == stateAlive {
+					state[w] = stateRemoved
+					alive--
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer, a strong 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

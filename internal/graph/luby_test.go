@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestLubyMISValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200)
+		g := randomGraph(rng, n, rng.Float64()*0.3)
+		set := LubyMIS(g, int64(trial))
+		if !IsMaximalIndependentSet(g, set) {
+			t.Fatalf("trial %d: Luby set not a maximal independent set", trial)
+		}
+	}
+}
+
+func TestLubyMISEmptyAndEdgeless(t *testing.T) {
+	if set := LubyMIS(NewUndirected(0), 1); set != nil {
+		t.Errorf("empty graph: %v", set)
+	}
+	set := LubyMIS(NewUndirected(7), 1)
+	if len(set) != 7 {
+		t.Errorf("edgeless: |set| = %d, want 7", len(set))
+	}
+}
+
+func TestLubyMISCompleteGraph(t *testing.T) {
+	g := NewUndirected(10)
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if set := LubyMIS(g, 3); len(set) != 1 {
+		t.Errorf("complete graph: |set| = %d, want 1", len(set))
+	}
+}
+
+func TestLubyMISDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 150, 0.1)
+	a := LubyMIS(g, 42)
+	for rerun := 0; rerun < 5; rerun++ {
+		b := LubyMIS(g, 42)
+		if len(a) != len(b) {
+			t.Fatal("same seed, different sizes")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("same seed, different sets (parallel nondeterminism)")
+			}
+		}
+	}
+	// Different seeds usually differ on a graph this size.
+	c := LubyMIS(g, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("seeds 42 and 43 coincided (possible but unlikely)")
+	}
+}
+
+func TestLubyMISQuickProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 80)
+		p := float64(pRaw) / 255 * 0.5
+		g := randomGraph(rng, n, p)
+		return IsMaximalIndependentSet(g, LubyMIS(g, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLubyMISOnUnitDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	g := UnitDisk(pts, 2.7)
+	set := LubyMIS(g, 5)
+	if !IsMaximalIndependentSet(g, set) {
+		t.Fatal("Luby on unit-disk graph invalid")
+	}
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if geom.Dist(pts[set[i]], pts[set[j]]) <= 2.7 {
+				t.Fatal("two Luby MIS nodes within gamma")
+			}
+		}
+	}
+}
+
+func BenchmarkLubyMIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 1200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	g := UnitDisk(pts, 2.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LubyMIS(g, int64(i))
+	}
+}
+
+func BenchmarkGreedyMIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 1200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	g := UnitDisk(pts, 2.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MaximalIndependentSet(g, MISMaxDegree, nil)
+	}
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Undirected {
+	g := NewUndirected(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestMISAllOrdersValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orders := []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom}
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(60)
+		g := randomGraph(rng, n, rng.Float64()*0.5)
+		for _, ord := range orders {
+			set := MaximalIndependentSet(g, ord, rng)
+			if n > 0 && len(set) == 0 {
+				t.Fatalf("%v: empty MIS on non-empty graph", ord)
+			}
+			if !IsIndependentSet(g, set) {
+				t.Fatalf("%v: not independent: %v", ord, set)
+			}
+			if !IsMaximalIndependentSet(g, set) {
+				t.Fatalf("%v: not maximal: %v", ord, set)
+			}
+		}
+	}
+}
+
+func TestMISEmptyGraph(t *testing.T) {
+	g := NewUndirected(0)
+	if set := MaximalIndependentSet(g, MISLexicographic, nil); set != nil {
+		t.Errorf("empty graph: MIS = %v, want nil", set)
+	}
+}
+
+func TestMISNoEdges(t *testing.T) {
+	g := NewUndirected(5)
+	set := MaximalIndependentSet(g, MISMinDegree, nil)
+	if len(set) != 5 {
+		t.Errorf("edgeless graph: |MIS| = %d, want 5", len(set))
+	}
+}
+
+func TestMISCompleteGraph(t *testing.T) {
+	g := NewUndirected(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for _, ord := range []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom} {
+		set := MaximalIndependentSet(g, ord, rand.New(rand.NewSource(9)))
+		if len(set) != 1 {
+			t.Errorf("%v: complete graph |MIS| = %d, want 1", ord, len(set))
+		}
+	}
+}
+
+func TestMISStar(t *testing.T) {
+	// Star K_{1,5}: min-degree picks leaves (size 5), max-degree picks the
+	// hub (size 1).
+	g := NewUndirected(6)
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	if set := MaximalIndependentSet(g, MISMinDegree, nil); len(set) != 5 {
+		t.Errorf("min-degree star: |MIS| = %d, want 5", len(set))
+	}
+	if set := MaximalIndependentSet(g, MISMaxDegree, nil); len(set) != 1 || set[0] != 0 {
+		t.Errorf("max-degree star: MIS = %v, want [0]", set)
+	}
+}
+
+func TestMISUnitDiskPairwiseDistance(t *testing.T) {
+	// The defining property Appro relies on: any two nodes of an MIS of
+	// the charging graph are more than gamma apart.
+	rng := rand.New(rand.NewSource(21))
+	const gamma = 2.7
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		g := UnitDisk(pts, gamma)
+		set := MaximalIndependentSet(g, MISMinDegree, nil)
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if d := geom.Dist(pts[set[i]], pts[set[j]]); d <= gamma {
+					t.Fatalf("MIS nodes %d,%d at distance %v <= gamma", set[i], set[j], d)
+				}
+			}
+		}
+	}
+}
+
+func TestIsIndependentSetRejectsBadInput(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1)
+	if IsIndependentSet(g, []int{0, 1}) {
+		t.Error("adjacent pair accepted")
+	}
+	if IsIndependentSet(g, []int{0, 0}) {
+		t.Error("duplicate vertex accepted")
+	}
+	if IsIndependentSet(g, []int{-1}) || IsIndependentSet(g, []int{7}) {
+		t.Error("out-of-range vertex accepted")
+	}
+	if !IsIndependentSet(g, []int{0, 2}) {
+		t.Error("valid set rejected")
+	}
+	if IsMaximalIndependentSet(g, []int{2}) {
+		t.Error("{2} is not maximal: 0 or 1 could be added")
+	}
+	if !IsMaximalIndependentSet(g, []int{0, 2}) {
+		t.Error("{0,2} should be maximal")
+	}
+}
+
+func TestMISOrderString(t *testing.T) {
+	for _, tc := range []struct {
+		o    MISOrder
+		want string
+	}{
+		{MISLexicographic, "lexicographic"},
+		{MISMinDegree, "min-degree"},
+		{MISMaxDegree, "max-degree"},
+		{MISRandom, "random"},
+		{MISOrder(99), "unknown"},
+	} {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("String(%d) = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestBFSAndComponents(t *testing.T) {
+	g := NewUndirected(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated.
+	depths := map[int]int{}
+	n := BFS(g, 0, func(v, d int) { depths[v] = d })
+	if n != 3 {
+		t.Errorf("BFS visited %d, want 3", n)
+	}
+	if depths[0] != 0 || depths[1] != 1 || depths[2] != 2 {
+		t.Errorf("BFS depths = %v", depths)
+	}
+	if BFS(g, -1, nil) != 0 || BFS(g, 99, nil) != 0 {
+		t.Error("BFS out-of-range src should visit 0")
+	}
+	comp, k := ConnectedComponents(g)
+	if k != 4 {
+		t.Errorf("components = %d, want 4", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("3,4 should share a distinct component")
+	}
+	if comp[5] == comp[6] {
+		t.Error("isolated vertices should be distinct components")
+	}
+	if IsConnected(g) {
+		t.Error("g is not connected")
+	}
+	g2 := NewUndirected(1)
+	if !IsConnected(g2) {
+		t.Error("single vertex is connected")
+	}
+}

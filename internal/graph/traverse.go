@@ -1,0 +1,69 @@
+package graph
+
+// BFS visits all vertices reachable from src in breadth-first order,
+// invoking visit with each vertex and its hop distance from src. It returns
+// the number of vertices visited. Visit may be nil.
+func BFS(g *Undirected, src int, visit func(v, depth int)) int {
+	if src < 0 || src >= g.Len() {
+		return 0
+	}
+	seen := make([]bool, g.Len())
+	type item struct{ v, d int }
+	queue := []item{{src, 0}}
+	seen[src] = true
+	count := 0
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		count++
+		if visit != nil {
+			visit(it.v, it.d)
+		}
+		for _, w := range g.Neighbors(it.v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, item{int(w), it.d + 1})
+			}
+		}
+	}
+	return count
+}
+
+// ConnectedComponents returns, for each vertex, the index of its component
+// (components numbered 0..k-1 in order of first appearance), plus the number
+// of components.
+func ConnectedComponents(g *Undirected) ([]int, int) {
+	comp := make([]int, g.Len())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for v := 0; v < g.Len(); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		stack := []int{v}
+		comp[v] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, int(w))
+				}
+			}
+		}
+	}
+	return comp, next
+}
+
+// IsConnected reports whether g has at most one connected component.
+func IsConnected(g *Undirected) bool {
+	if g.Len() <= 1 {
+		return true
+	}
+	return BFS(g, 0, nil) == g.Len()
+}

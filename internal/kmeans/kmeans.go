@@ -1,0 +1,156 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding over
+// 2-D points. The AA baseline (Wang et al., IEEE TC 2016) partitions the
+// to-be-charged sensors into K groups with it, one group per mobile charger.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Result is a clustering of points into K groups.
+type Result struct {
+	// Centers are the final cluster centroids, length K.
+	Centers []geom.Point
+	// Assign maps each input point index to its cluster in [0, K).
+	Assign []int
+	// Inertia is the total squared distance of points to their centers.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Cluster partitions pts into k clusters. rng drives the k-means++ seeding
+// and must be non-nil. maxIter caps Lloyd iterations (<= 0 means 100).
+// It returns an error when k < 1 or there are no points.
+func Cluster(pts []geom.Point, k int, rng *rand.Rand, maxIter int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: k = %d, want >= 1", k)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("kmeans: nil rng")
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	centers := seedPlusPlus(pts, k, rng)
+	assign := make([]int, len(pts))
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := assignPoints(pts, centers, assign)
+		res.Iterations = iter + 1
+		// Recompute centroids; re-seed empty clusters at the farthest point.
+		sums := make([]geom.Point, len(centers))
+		counts := make([]int, len(centers))
+		for i, c := range assign {
+			sums[c] = sums[c].Add(pts[i])
+			counts[c]++
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = farthestPoint(pts, centers, assign)
+				continue
+			}
+			centers[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	assignPoints(pts, centers, assign)
+	res.Centers = centers
+	res.Assign = assign
+	for i, c := range assign {
+		res.Inertia += geom.DistSq(pts[i], centers[c])
+	}
+	return res, nil
+}
+
+// Groups explodes the assignment into k slices of point indices.
+func (r *Result) Groups() [][]int {
+	out := make([][]int, len(r.Centers))
+	for i := range out {
+		out[i] = []int{}
+	}
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// seedPlusPlus picks k initial centers with k-means++: the first uniformly,
+// each subsequent with probability proportional to squared distance from
+// the nearest chosen center.
+func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	centers := make([]geom.Point, 0, k)
+	centers = append(centers, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		total := 0.0
+		last := centers[len(centers)-1]
+		for i, p := range pts {
+			d := geom.DistSq(p, last)
+			if len(centers) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with chosen centers; duplicate one.
+			centers = append(centers, pts[rng.Intn(len(pts))])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(pts) - 1
+		for i := range pts {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+	return centers
+}
+
+// assignPoints sets assign[i] to the nearest center and reports whether any
+// assignment changed.
+func assignPoints(pts []geom.Point, centers []geom.Point, assign []int) bool {
+	changed := false
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if d := geom.DistSq(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// farthestPoint returns the input point with maximum distance to its
+// assigned center, used to re-seed empty clusters.
+func farthestPoint(pts []geom.Point, centers []geom.Point, assign []int) geom.Point {
+	best, bestD := 0, -1.0
+	for i, p := range pts {
+		if d := geom.DistSq(p, centers[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return pts[best]
+}

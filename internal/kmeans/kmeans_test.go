@@ -1,0 +1,128 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestClusterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := []geom.Point{geom.Pt(0, 0)}
+	if _, err := Cluster(pts, 0, rng, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Cluster(nil, 2, rng, 0); err == nil {
+		t.Error("no points should error")
+	}
+	if _, err := Cluster(pts, 1, nil, 0); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestClusterSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []geom.Point
+	centers := []geom.Point{geom.Pt(10, 10), geom.Pt(90, 90), geom.Pt(10, 90)}
+	for _, c := range centers {
+		for i := 0; i < 30; i++ {
+			pts = append(pts, geom.Pt(c.X+rng.NormFloat64(), c.Y+rng.NormFloat64()))
+		}
+	}
+	res, err := Cluster(pts, 3, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of an original cluster must share an assignment.
+	for g := 0; g < 3; g++ {
+		first := res.Assign[g*30]
+		for i := 1; i < 30; i++ {
+			if res.Assign[g*30+i] != first {
+				t.Fatalf("original cluster %d split: %v vs %v", g, first, res.Assign[g*30+i])
+			}
+		}
+	}
+	// And distinct clusters get distinct assignments.
+	if res.Assign[0] == res.Assign[30] || res.Assign[30] == res.Assign[60] || res.Assign[0] == res.Assign[60] {
+		t.Error("distinct clusters merged")
+	}
+}
+
+func TestClusterKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	res, err := Cluster(pts, 10, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Errorf("centers = %d, want clamped to 2", len(res.Centers))
+	}
+}
+
+func TestClusterCoincidentPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, 10)
+	for i := range pts {
+		pts[i] = geom.Pt(5, 5)
+	}
+	res, err := Cluster(pts, 3, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("Inertia = %v, want 0 for coincident points", res.Inertia)
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	res, err := Cluster(pts, 4, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Groups()
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	seen := make([]bool, len(pts))
+	for _, g := range groups {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("point %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+}
+
+func TestClusterDeterministicWithSeed(t *testing.T) {
+	pts := make([]geom.Point, 40)
+	src := rand.New(rand.NewSource(11))
+	for i := range pts {
+		pts[i] = geom.Pt(src.Float64()*100, src.Float64()*100)
+	}
+	a, err := Cluster(pts, 3, rand.New(rand.NewSource(42)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, 3, rand.New(rand.NewSource(42)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}

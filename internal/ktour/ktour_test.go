@@ -1,0 +1,242 @@
+package ktour
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randInput(rng *rand.Rand, n, k int) Input {
+	in := Input{
+		Depot:   geom.Pt(50, 50),
+		Nodes:   make([]geom.Point, n),
+		Service: make([]float64, n),
+		Speed:   1,
+		K:       k,
+	}
+	for i := range in.Nodes {
+		in.Nodes[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		in.Service[i] = rng.Float64() * 3600
+	}
+	return in
+}
+
+// checkPartition verifies that the K tours are node-disjoint and cover all
+// nodes, and that reported delays match TourDelay.
+func checkPartition(t *testing.T, in Input, sol *Solution) {
+	t.Helper()
+	if len(sol.Tours) != in.K || len(sol.Delays) != in.K {
+		t.Fatalf("got %d tours, %d delays, want %d", len(sol.Tours), len(sol.Delays), in.K)
+	}
+	var all []int
+	for k, tour := range sol.Tours {
+		all = append(all, tour...)
+		want := TourDelay(in, tour)
+		if math.Abs(sol.Delays[k]-want) > 1e-6 {
+			t.Errorf("tour %d delay = %v, recompute = %v", k, sol.Delays[k], want)
+		}
+		if sol.Delays[k] > sol.Longest+1e-9 {
+			t.Errorf("tour %d delay %v exceeds Longest %v", k, sol.Delays[k], sol.Longest)
+		}
+	}
+	sort.Ints(all)
+	if len(all) != len(in.Nodes) {
+		t.Fatalf("tours cover %d nodes, want %d", len(all), len(in.Nodes))
+	}
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("coverage is not a partition: sorted nodes %v", all)
+		}
+	}
+}
+
+func TestMinMaxValidation(t *testing.T) {
+	base := randInput(rand.New(rand.NewSource(1)), 5, 2)
+	tests := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"zero K", func(in *Input) { in.K = 0 }},
+		{"negative K", func(in *Input) { in.K = -1 }},
+		{"zero speed", func(in *Input) { in.Speed = 0 }},
+		{"negative speed", func(in *Input) { in.Speed = -2 }},
+		{"service length mismatch", func(in *Input) { in.Service = in.Service[:2] }},
+		{"negative service", func(in *Input) { in.Service[0] = -1 }},
+		{"NaN service", func(in *Input) { in.Service[0] = math.NaN() }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := base
+			in.Service = append([]float64(nil), base.Service...)
+			tt.mutate(&in)
+			if _, err := MinMax(in); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	in := Input{Depot: geom.Pt(0, 0), Speed: 1, K: 3}
+	sol, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Longest != 0 {
+		t.Errorf("Longest = %v, want 0", sol.Longest)
+	}
+	for k, tour := range sol.Tours {
+		if len(tour) != 0 {
+			t.Errorf("tour %d = %v, want empty", k, tour)
+		}
+	}
+}
+
+func TestMinMaxSingleNode(t *testing.T) {
+	in := Input{
+		Depot:   geom.Pt(0, 0),
+		Nodes:   []geom.Point{geom.Pt(3, 4)},
+		Service: []float64{7},
+		Speed:   1,
+		K:       2,
+	}
+	sol, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, in, sol)
+	if math.Abs(sol.Longest-(5+7+5)) > 1e-9 {
+		t.Errorf("Longest = %v, want 17", sol.Longest)
+	}
+}
+
+func TestMinMaxPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(60)
+		k := 1 + rng.Intn(5)
+		in := randInput(rng, n, k)
+		sol, err := MinMax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartition(t, in, sol)
+	}
+}
+
+func TestMinMaxMoreVehiclesNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randInput(rng, 40, 1)
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		in.K = k
+		sol, err := MinMax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow tiny slack: the grand tour is identical, so splitting into
+		// more parts can only reduce the max segment.
+		if sol.Longest > prev+1e-6 {
+			t.Errorf("K=%d: longest %v > K=%d longest %v", k, sol.Longest, k-1, prev)
+		}
+		prev = sol.Longest
+	}
+}
+
+func TestMinMaxSymmetricSplit(t *testing.T) {
+	// Two clusters symmetric about the depot: with K=2 each vehicle should
+	// take one side, roughly halving the K=1 delay.
+	in := Input{
+		Depot: geom.Pt(0, 0),
+		Nodes: []geom.Point{
+			geom.Pt(10, 0), geom.Pt(11, 0), geom.Pt(10, 1),
+			geom.Pt(-10, 0), geom.Pt(-11, 0), geom.Pt(-10, 1),
+		},
+		Service: make([]float64, 6),
+		Speed:   1,
+		K:       2,
+	}
+	one := in
+	one.K = 1
+	sol1, err := MinMax(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Longest > 0.75*sol1.Longest {
+		t.Errorf("K=2 longest %v not much below K=1 longest %v", sol2.Longest, sol1.Longest)
+	}
+}
+
+func TestTourDelayHandComputed(t *testing.T) {
+	in := Input{
+		Depot:   geom.Pt(0, 0),
+		Nodes:   []geom.Point{geom.Pt(0, 10), geom.Pt(10, 10)},
+		Service: []float64{100, 200},
+		Speed:   2,
+	}
+	// depot->n0: 10/2=5, service 100, n0->n1: 10/2=5, service 200,
+	// n1->depot: sqrt(200)/2.
+	want := 5.0 + 100 + 5 + 200 + math.Sqrt(200)/2
+	if got := TourDelay(in, []int{0, 1}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TourDelay = %v, want %v", got, want)
+	}
+	if got := TourDelay(in, nil); got != 0 {
+		t.Errorf("empty tour delay = %v", got)
+	}
+}
+
+func TestSplitAtTargetMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	in := randInput(rng, 30, 1)
+	order := GrandTourOrder(in)
+	full := TourDelay(in, order)
+	prevParts := len(splitAtTarget(in, order, full/16))
+	for _, f := range []float64{8, 4, 2, 1} {
+		parts := len(splitAtTarget(in, order, full/f))
+		if parts > prevParts {
+			t.Errorf("target up, parts went %d -> %d", prevParts, parts)
+		}
+		prevParts = parts
+	}
+	if got := len(splitAtTarget(in, order, full+1)); got != 1 {
+		t.Errorf("full-delay target should need 1 part, got %d", got)
+	}
+}
+
+func TestMinMaxNearOptimalOnLine(t *testing.T) {
+	// 4 equidistant nodes on a line through the depot, no service time.
+	// Optimal for K=2 is one vehicle per side: delay 2*20=40.
+	in := Input{
+		Depot: geom.Pt(0, 0),
+		Nodes: []geom.Point{
+			geom.Pt(10, 0), geom.Pt(20, 0), geom.Pt(-10, 0), geom.Pt(-20, 0),
+		},
+		Speed: 1,
+		K:     2,
+	}
+	sol, err := MinMax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, in, sol)
+	if sol.Longest > 40*1.5+1e-9 {
+		t.Errorf("Longest = %v, optimal is 40", sol.Longest)
+	}
+}
+
+func BenchmarkMinMax500(b *testing.B) {
+	in := randInput(rand.New(rand.NewSource(1)), 500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinMax(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/ktour"
+)
+
+func TestComputeEmptyAndInvalid(t *testing.T) {
+	if b := Compute(&core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 1}); b.Value != 0 {
+		t.Errorf("empty instance bound = %+v", b)
+	}
+	if b := Compute(&core.Instance{K: 0}); b.Value != 0 {
+		t.Errorf("invalid instance bound = %+v", b)
+	}
+}
+
+func TestFarthestBoundHandComputed(t *testing.T) {
+	in := &core.Instance{
+		Depot: geom.Pt(0, 0),
+		Requests: []core.Request{
+			{Pos: geom.Pt(100, 0), Duration: 500},
+			{Pos: geom.Pt(10, 0), Duration: 10},
+		},
+		Gamma: 2.7, Speed: 2, K: 3,
+	}
+	b := Compute(in)
+	want := 2*(100-2.7)/2 + 500
+	if math.Abs(b.Farthest-want) > 1e-9 {
+		t.Errorf("Farthest = %v, want %v", b.Farthest, want)
+	}
+	if b.Value < b.Farthest {
+		t.Error("Value below Farthest")
+	}
+}
+
+func TestPackingIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+	for i := 0; i < 300; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: rng.Float64() * 5400,
+		})
+	}
+	b := Compute(in)
+	if b.PackingSize < 1 || b.PackingSize > len(in.Requests) {
+		t.Fatalf("packing size %d", b.PackingSize)
+	}
+	if b.PackingWork <= 0 || b.PackingTravel <= 0 {
+		t.Errorf("packing bounds not positive: %+v", b)
+	}
+}
+
+// TestBoundBelowAllSchedules is the defining property: every feasible
+// schedule any of our algorithms produces must cost at least the bound.
+func TestBoundBelowAllSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	planners := []core.Planner{core.ApproPlanner{}, baselines.KMinMax{}, baselines.NETWRAP{}}
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(120)
+		k := 1 + rng.Intn(4)
+		in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: k}
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, core.Request{
+				Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+				Duration: (0.5 + rng.Float64()) * 3600,
+			})
+		}
+		lb := Compute(in)
+		for _, p := range planners {
+			s, err := p.Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Longest < lb.Value-1e-6 {
+				t.Fatalf("trial %d: %s longest %v below lower bound %v",
+					trial, p.Name(), s.Longest, lb.Value)
+			}
+		}
+	}
+}
+
+// TestBoundBelowExactOptimum checks validity against the true optimum on
+// tiny one-to-one instances (gamma = 0 makes multi-node and one-to-one
+// coincide, and the exact solver optimizes exactly that problem).
+func TestBoundBelowExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(7)
+		k := 1 + rng.Intn(3)
+		in := &core.Instance{Depot: geom.Pt(5, 5), Gamma: 0, Speed: 1, K: k}
+		kin := ktour.Input{Depot: in.Depot, Speed: 1, K: k}
+		for i := 0; i < n; i++ {
+			pos := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+			dur := rng.Float64() * 100
+			in.Requests = append(in.Requests, core.Request{Pos: pos, Duration: dur})
+			kin.Nodes = append(kin.Nodes, pos)
+			kin.Service = append(kin.Service, dur)
+		}
+		opt, _, err := exact.MinMax(kin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := Compute(in)
+		if lb.Value > opt+1e-6 {
+			t.Fatalf("trial %d: lower bound %v exceeds optimum %v", trial, lb.Value, opt)
+		}
+	}
+}
+
+// TestApproEmpiricalQuality records the empirical approximation factor of
+// Appro against the lower bound on realistic dense instances; it must stay
+// far below the theoretical guarantee.
+func TestApproEmpiricalQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	worst := 0.0
+	for trial := 0; trial < 6; trial++ {
+		n := 200 + rng.Intn(600)
+		in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+		for i := 0; i < n; i++ {
+			in.Requests = append(in.Requests, core.Request{
+				Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			})
+		}
+		s, err := core.ApproPlanner{}.Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := Compute(in)
+		if lb.Value <= 0 {
+			t.Fatal("zero lower bound on non-trivial instance")
+		}
+		ratio := s.Longest / lb.Value
+		if ratio > worst {
+			worst = ratio
+		}
+		ana, err := core.Analyze(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > ana.Ratio {
+			t.Fatalf("trial %d: empirical factor %.2f exceeds theoretical guarantee %.2f",
+				trial, ratio, ana.Ratio)
+		}
+	}
+	t.Logf("worst empirical Appro/lower-bound factor: %.3f", worst)
+	if worst > 6 {
+		t.Errorf("empirical factor %.2f unexpectedly high (regression?)", worst)
+	}
+}

@@ -1,0 +1,224 @@
+// Package mst computes minimum spanning trees over complete Euclidean
+// graphs and explicit edge lists. MSTs are the backbone of the TSP
+// approximations used by the K-minMax closed-tour subroutine (step 5 of
+// Algorithm Appro) and the one-to-one K-minMax baseline.
+package mst
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/unionfind"
+)
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Tree is a spanning tree (or forest) given as a parent array rooted at
+// Root: Parent[Root] == -1 and Parent[v] is v's parent. Adj holds the
+// children lists for traversal. Weight is the total edge weight.
+type Tree struct {
+	Root   int
+	Parent []int
+	Adj    [][]int
+	Weight float64
+}
+
+// Len returns the number of vertices in the tree.
+func (t *Tree) Len() int { return len(t.Parent) }
+
+// PreorderDFS returns the vertices of t in depth-first preorder starting at
+// the root, visiting children in ascending index order. This is the walk
+// used by the MST-doubling TSP approximation.
+func (t *Tree) PreorderDFS() []int {
+	if t.Len() == 0 {
+		return nil
+	}
+	order := make([]int, 0, t.Len())
+	// Iterative DFS; push children in reverse so lowest index pops first.
+	stack := []int{t.Root}
+	seen := make([]bool, t.Len())
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		order = append(order, v)
+		children := t.Adj[v]
+		for i := len(children) - 1; i >= 0; i-- {
+			if !seen[children[i]] {
+				stack = append(stack, children[i])
+			}
+		}
+	}
+	return order
+}
+
+// Euclidean computes the MST of the complete graph over pts with Euclidean
+// edge weights, rooted at root, using Prim's algorithm in O(n^2) time —
+// optimal for complete geometric graphs. It returns nil when pts is empty
+// or root is out of range.
+func Euclidean(pts []geom.Point, root int) *Tree {
+	n := len(pts)
+	if n == 0 || root < 0 || root >= n {
+		return nil
+	}
+	const unseen = -1
+	parent := make([]int, n)
+	dist := make([]float64, n)
+	inTree := make([]bool, n)
+	for i := range parent {
+		parent[i] = unseen
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	total := 0.0
+	for iter := 0; iter < n; iter++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best < 0 || dist[v] < dist[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if d := geom.Dist(pts[best], pts[v]); d < dist[v] {
+				dist[v] = d
+				parent[v] = best
+			}
+		}
+	}
+	return buildTree(root, parent, total)
+}
+
+// FromEdges computes an MST (or minimum spanning forest, if disconnected)
+// of the n-vertex graph with the given edge list using Kruskal's algorithm.
+// For a disconnected input only the component containing root becomes the
+// returned tree; other components are absent from Adj and keep Parent -1.
+func FromEdges(n int, edges []Edge, root int) *Tree {
+	if n == 0 || root < 0 || root >= n {
+		return nil
+	}
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	dsu := unionfind.New(n)
+	adj := make([][]Edge, n)
+	total := 0.0
+	for _, e := range sorted {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			continue
+		}
+		if dsu.Union(e.U, e.V) {
+			adj[e.U] = append(adj[e.U], e)
+			adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, W: e.W})
+			total += e.W
+		}
+	}
+	// Orient the component containing root.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, n)
+	stack := []int{root}
+	visited[root] = true
+	compWeight := 0.0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj[v] {
+			if !visited[e.V] {
+				visited[e.V] = true
+				parent[e.V] = v
+				compWeight += e.W
+				stack = append(stack, e.V)
+			}
+		}
+	}
+	return buildTree(root, parent, compWeight)
+}
+
+// EuclideanPrimHeap is a heap-based Prim over an explicit neighbor graph:
+// pts gives coordinates and neighbors the candidate edges (e.g. a unit-disk
+// graph). Vertices unreachable from root keep Parent -1 and do not appear
+// in Adj. It runs in O(m log n).
+func EuclideanPrimHeap(pts []geom.Point, neighbors func(v int) []int32, root int) *Tree {
+	n := len(pts)
+	if n == 0 || root < 0 || root >= n {
+		return nil
+	}
+	parent := make([]int, n)
+	dist := make([]float64, n)
+	inTree := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	pq := &primHeap{items: []primItem{{v: root, d: 0}}}
+	total := 0.0
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(primItem)
+		if inTree[it.v] {
+			continue
+		}
+		inTree[it.v] = true
+		total += it.d
+		for _, w := range neighbors(it.v) {
+			wv := int(w)
+			if inTree[wv] {
+				continue
+			}
+			if d := geom.Dist(pts[it.v], pts[wv]); d < dist[wv] {
+				dist[wv] = d
+				parent[wv] = it.v
+				heap.Push(pq, primItem{v: wv, d: d})
+			}
+		}
+	}
+	return buildTree(root, parent, total)
+}
+
+func buildTree(root int, parent []int, weight float64) *Tree {
+	adj := make([][]int, len(parent))
+	for v, p := range parent {
+		if p >= 0 {
+			adj[p] = append(adj[p], v)
+		}
+	}
+	for _, children := range adj {
+		sort.Ints(children)
+	}
+	return &Tree{Root: root, Parent: parent, Adj: adj, Weight: weight}
+}
+
+type primItem struct {
+	v int
+	d float64
+}
+
+type primHeap struct{ items []primItem }
+
+func (h *primHeap) Len() int           { return len(h.items) }
+func (h *primHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *primHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *primHeap) Push(x interface{}) { h.items = append(h.items, x.(primItem)) }
+func (h *primHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,84 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Gantt writes an SVG timeline of a schedule: one lane per charger, with
+// travel legs drawn as thin gray bars and charging intervals as colored
+// blocks (annotated with the stop's covered-sensor count). Waits inserted
+// by the conflict-aware executor appear as gaps between a travel leg and
+// its charging block. width is the image width in pixels (min 300).
+func Gantt(w io.Writer, in *core.Instance, s *core.Schedule, width int) error {
+	if width < 300 {
+		width = 300
+	}
+	const (
+		laneH   = 46
+		barH    = 18
+		marginL = 70
+		marginR = 20
+		marginT = 30
+	)
+	horizon := s.Longest
+	if horizon <= 0 {
+		horizon = 1
+	}
+	plotW := float64(width - marginL - marginR)
+	px := func(t float64) float64 { return marginL + t/horizon*plotW }
+	height := marginT + laneH*len(s.Tours) + 40
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">charger activity (longest delay %.2f h)</text>`+"\n",
+		marginL, s.Longest/3600)
+
+	for k, tour := range s.Tours {
+		laneY := float64(marginT + k*laneH)
+		barY := laneY + (laneH-barH)/2
+		color := palette[k%len(palette)]
+		fmt.Fprintf(&b, `<text x="8" y="%.1f" font-size="11">MCV %d</text>`+"\n", barY+barH-5, k+1)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			marginL, barY+barH/2, px(horizon), barY+barH/2)
+		pos := in.Depot
+		depart := 0.0
+		for _, stop := range tour.Stops {
+			stopPos := in.Requests[stop.Node].Pos
+			travel := in.Travel(pos, stopPos)
+			// Travel bar from departure; the charger may then wait until
+			// stop.Arrive (conflict avoidance) — that gap stays empty.
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%d" fill="#bbb"/>`+"\n",
+				px(depart), barY+5, maxf(px(depart+travel)-px(depart), 0.5), barH-10)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%d" fill="%s"><title>node %d: %d sensors, %.0f s</title></rect>`+"\n",
+				px(stop.Arrive), barY, maxf(px(stop.Finish())-px(stop.Arrive), 0.8), barH, color,
+				stop.Node, len(stop.Covers), stop.Duration)
+			pos = stopPos
+			depart = stop.Finish()
+		}
+		if len(tour.Stops) > 0 {
+			back := in.Travel(pos, in.Depot)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%d" fill="#bbb"/>`+"\n",
+				px(depart), barY+5, maxf(px(depart+back)-px(depart), 0.5), barH-10)
+		}
+	}
+	// Time axis in hours.
+	axisY := float64(marginT + laneH*len(s.Tours) + 12)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, axisY, px(horizon), axisY)
+	for i := 0; i <= 6; i++ {
+		t := horizon * float64(i) / 6
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px(t), axisY, px(t), axisY+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.1f h</text>`+"\n",
+			px(t), axisY+16, t/3600)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

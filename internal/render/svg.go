@@ -1,0 +1,95 @@
+// Package render draws planned charging schedules as standalone SVG
+// images: sensors as dots, sojourn stops as circles with their charging
+// coverage disks, and each charger's closed tour as a colored polyline
+// through the depot. Used by cmd/wrsn-plan for visual inspection.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// palette holds visually distinct tour colors; tours beyond its length
+// cycle.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf",
+}
+
+// SVG writes an SVG rendering of the schedule over the instance to w.
+// size is the output image's width/height in pixels (min 100).
+func SVG(w io.Writer, in *core.Instance, s *core.Schedule, size int) error {
+	if size < 100 {
+		size = 100
+	}
+	pts := in.Positions()
+	bounds := geom.Bounds(append(append([]geom.Point{}, pts...), in.Depot))
+	// Pad 5% plus the charging radius so coverage disks fit.
+	pad := 0.05*maxf(bounds.Width(), bounds.Height()) + in.Gamma
+	bounds.Min.X -= pad
+	bounds.Min.Y -= pad
+	bounds.Max.X += pad
+	bounds.Max.Y += pad
+	span := maxf(bounds.Width(), bounds.Height())
+	if span <= 0 {
+		span = 1
+	}
+	scale := float64(size) / span
+	// SVG y grows downward; flip.
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - bounds.Min.X) * scale, float64(size) - (p.Y-bounds.Min.Y)*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Sensors.
+	for _, p := range pts {
+		x, y := px(p)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.5" fill="#999"/>`+"\n", x, y)
+	}
+	// Tours: coverage disks, polyline, stops.
+	for k, tour := range s.Tours {
+		if len(tour.Stops) == 0 {
+			continue
+		}
+		color := palette[k%len(palette)]
+		var path strings.Builder
+		dx, dy := px(in.Depot)
+		fmt.Fprintf(&path, "M %.1f %.1f", dx, dy)
+		for _, stop := range tour.Stops {
+			x, y := px(in.Requests[stop.Node].Pos)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.12" stroke="%s" stroke-opacity="0.4"/>`+"\n",
+				x, y, in.Gamma*scale, color, color)
+			fmt.Fprintf(&path, " L %.1f %.1f", x, y)
+		}
+		fmt.Fprintf(&path, " L %.1f %.1f", dx, dy)
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+		for si, stop := range tour.Stops {
+			x, y := px(in.Requests[stop.Node].Pos)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" fill="%s">%d.%d</text>`+"\n",
+				x+4, y-4, color, k+1, si+1)
+		}
+	}
+	// Depot marker.
+	dx, dy := px(in.Depot)
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="black"/>`+"\n", dx-4, dy-4)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10">depot</text>`+"\n", dx+6, dy+4)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package render
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestSVGBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+	for i := 0; i < 30; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: 3600,
+		})
+	}
+	s, err := core.ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SVG(&sb, in, s, 600); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "depot", "<path", "<circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmptySchedule(t *testing.T) {
+	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 1}
+	s := &core.Schedule{Tours: []core.Tour{{}}}
+	var sb strings.Builder
+	if err := SVG(&sb, in, s, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("no SVG emitted for empty schedule")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+	for i := 0; i < 40; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: 1800,
+		})
+	}
+	s, err := core.ApproPlanner{}.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Gantt(&sb, in, s, 900); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "MCV 1", "MCV 2", "charger activity", "<title>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q", want)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 1}
+	s := &core.Schedule{Tours: []core.Tour{{}}}
+	var sb strings.Builder
+	if err := Gantt(&sb, in, s, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("no SVG for empty schedule")
+	}
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/wrsn"
+)
+
+// DispatchMode selects how charging rounds are triggered.
+type DispatchMode int
+
+const (
+	// DispatchSynchronized is the paper's round-based protocol: all K
+	// chargers leave the depot together with a jointly planned set of K
+	// tours, and the next round starts when the last charger returns.
+	DispatchSynchronized DispatchMode = iota
+	// DispatchIndependent lets each charger redispatch on its own: the
+	// moment a charger is back at the depot (and its own batching window
+	// has elapsed), it claims every pending request and runs a
+	// single-vehicle tour over them, while the other chargers are still
+	// out. Multi-node charging stays safe: a newly planned tour is
+	// time-shifted around the already-committed charging intervals of
+	// in-flight tours so no sensor is ever inside two active ranges.
+	DispatchIndependent
+)
+
+// String implements fmt.Stringer.
+func (m DispatchMode) String() string {
+	switch m {
+	case DispatchSynchronized:
+		return "synchronized"
+	case DispatchIndependent:
+		return "independent"
+	default:
+		return "unknown"
+	}
+}
+
+// interval is a committed absolute-time charging interval of some stop.
+type interval struct {
+	node       int // request position owner (sensor the charger parks at)
+	pos        geom.Point
+	cover      []int // sensor IDs within gamma (network-global)
+	start, end float64
+	tour       int // dispatch index, for the audit: same tour never conflicts with itself
+}
+
+// runIndependent is the DispatchIndependent main loop. It mirrors Run's
+// bookkeeping but drives each charger separately.
+func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
+	states []sensorState, targets []float64) (*Result, error) {
+	res := &Result{Planner: planner.Name()}
+	var longestAcc stats.Accumulator
+
+	free := make([]float64, k)         // when each charger is next at the depot
+	lastDispatch := make([]float64, k) // when each charger last left
+	for i := range lastDispatch {
+		lastDispatch[i] = math.Inf(-1)
+	}
+	var committed []interval
+	// Under Verify, every interval ever committed is retained for a
+	// global pairwise no-overlap audit at the end.
+	var audit []interval
+	grid := geom.NewGrid(networkPositions(nw), gridCell(nw.Gamma))
+
+	coverOf := func(sensorID int) []int {
+		found := grid.Neighbors(nw.Sensors[sensorID].Pos, nw.Gamma, nil)
+		cs := append([]int(nil), found...)
+		sort.Ints(cs)
+		return cs
+	}
+
+	for {
+		if cfg.MaxRounds > 0 && len(res.Rounds) >= cfg.MaxRounds {
+			break
+		}
+		// The next charger to act, by effective dispatch time (return
+		// time or its own batching-window gate, whichever is later).
+		// Selecting by effective time keeps dispatches in chronological
+		// order, which is what lets a new tour treat all previously
+		// committed intervals as final.
+		effective := func(j int) float64 {
+			e := free[j]
+			if gate := lastDispatch[j] + cfg.BatchWindow; gate > e {
+				e = gate
+			}
+			return e
+		}
+		ch := 0
+		for j := 1; j < k; j++ {
+			if effective(j) < effective(ch) {
+				ch = j
+			}
+		}
+		now := effective(ch)
+		if now >= cfg.Duration {
+			break
+		}
+		pending := pendingRequests(states, targets, now)
+		if len(pending) == 0 {
+			next := nextRequestTime(states, targets, now)
+			if math.IsInf(next, 1) || next >= cfg.Duration {
+				break
+			}
+			if next < now {
+				next = now
+			}
+			free[ch] = next
+			continue
+		}
+		// Claim a spatially coherent share of the backlog rather than
+		// everything: a charger that swallowed the whole backlog would
+		// tour for days while its peers idle, and spatially interleaved
+		// claims would serialize the chargers through the
+		// no-simultaneous-charging rule. Each charger statically owns
+		// the angular sector [2*pi*ch/k, 2*pi*(ch+1)/k) around the
+		// depot, so concurrent tours only meet near the depot; when a
+		// charger's own sector is empty it helps out with the whole
+		// backlog (conflict waits then handle the rare encounters).
+		if k > 1 {
+			var mine []int
+			for _, id := range pending {
+				if sectorOf(nw.Depot, nw.Sensors[id].Pos, k) == ch {
+					mine = append(mine, id)
+				}
+			}
+			if len(mine) > 0 {
+				pending = mine
+			}
+		}
+
+		// Plan a single-vehicle tour over the claimed set.
+		inst := buildInstance(nw, states, pending, 1, cfg.ChargeLevel)
+		sched, err := planner.Plan(inst)
+		if err != nil {
+			return nil, fmt.Errorf("sim: planner %s at t=%.0f: %w", planner.Name(), now, err)
+		}
+		if cfg.Verify {
+			res.Violations += len(verifySchedule(inst, sched))
+		}
+		tour := flattenTours(sched)
+		if len(tour) == 0 {
+			return nil, fmt.Errorf("sim: planner %s returned no stops for %d requests", planner.Name(), len(pending))
+		}
+
+		// Commit the tour against in-flight intervals: each stop starts
+		// after physical arrival and after every conflicting committed
+		// interval ends. In-flight tours are never delayed by a later
+		// dispatch, so one forward pass suffices.
+		clock := now
+		pos := nw.Depot
+		wait := 0.0
+		for _, st := range tour {
+			sensorID := pending[st.Node]
+			stopPos := nw.Sensors[sensorID].Pos
+			clock += geom.Dist(pos, stopPos) / nw.Speed
+			cover := coverOf(sensorID)
+			start := clock
+			for _, iv := range committed {
+				if iv.end > start && geom.Dist(iv.pos, stopPos) <= 2*nw.Gamma &&
+					intersectSorted(iv.cover, cover) {
+					start = iv.end
+				}
+			}
+			wait += start - clock
+			clock = start + st.Duration
+			pos = stopPos
+			iv := interval{
+				node:  sensorID,
+				pos:   stopPos,
+				cover: cover,
+				start: start,
+				end:   clock,
+				tour:  len(res.Rounds),
+			}
+			committed = append(committed, iv)
+			if cfg.Verify {
+				audit = append(audit, iv)
+			}
+			// Refill the covered sensors at the stop's finish.
+			for _, ri := range st.Covers {
+				delivered := states[pending[ri]].chargeAt(clock, cfg.ChargeLevel)
+				res.EnergyDelivered += delivered
+				res.Charges++
+			}
+		}
+		clock += geom.Dist(pos, nw.Depot) / nw.Speed
+		delay := clock - now
+
+		// Prune committed intervals no charger can conflict with anymore.
+		if len(committed) > 4*len(tour)+64 {
+			minFree := free[0]
+			for _, f := range free {
+				if f < minFree {
+					minFree = f
+				}
+			}
+			kept := committed[:0]
+			for _, iv := range committed {
+				if iv.end > minFree {
+					kept = append(kept, iv)
+				}
+			}
+			committed = kept
+		}
+
+		res.Rounds = append(res.Rounds, Round{
+			Start:   now,
+			Batch:   len(pending),
+			Stops:   len(tour),
+			Longest: delay,
+			Wait:    wait,
+		})
+		longestAcc.Add(delay)
+		if delay > res.MaxLongest {
+			res.MaxLongest = delay
+		}
+		lastDispatch[ch] = now
+		free[ch] = clock
+	}
+
+	// Global audit: no two charging intervals from different dispatches
+	// may overlap in time while sharing a covered sensor.
+	if cfg.Verify {
+		sort.Slice(audit, func(i, j int) bool { return audit[i].start < audit[j].start })
+		for i := range audit {
+			for j := i + 1; j < len(audit); j++ {
+				if audit[j].start >= audit[i].end-1e-9 {
+					break // sorted by start: no later interval overlaps i
+				}
+				if audit[i].tour == audit[j].tour {
+					continue
+				}
+				if geom.Dist(audit[i].pos, audit[j].pos) <= 2*nw.Gamma &&
+					intersectSorted(audit[i].cover, audit[j].cover) {
+					res.Violations++
+				}
+			}
+		}
+	}
+
+	// Close the books.
+	res.End = cfg.Duration
+	for _, f := range free {
+		if f > res.End {
+			res.End = f
+		}
+	}
+	totalDead := 0.0
+	for i := range states {
+		states[i].advanceTo(res.End)
+		totalDead += states[i].dead
+		if states[i].died {
+			res.DeadSensors++
+		}
+	}
+	if len(states) > 0 {
+		res.AvgDeadPerSensor = totalDead / float64(len(states))
+	}
+	res.AvgLongest = longestAcc.Mean()
+	return res, nil
+}
+
+// flattenTours concatenates a (K=1) schedule's stops in time order.
+func flattenTours(s *core.Schedule) []core.Stop {
+	var out []core.Stop
+	for _, tour := range s.Tours {
+		out = append(out, tour.Stops...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrive < out[j].Arrive })
+	return out
+}
+
+func networkPositions(nw *wrsn.Network) []geom.Point {
+	pts := make([]geom.Point, len(nw.Sensors))
+	for i := range nw.Sensors {
+		pts[i] = nw.Sensors[i].Pos
+	}
+	return pts
+}
+
+func gridCell(gamma float64) float64 {
+	if gamma <= 0 {
+		return 1
+	}
+	return gamma
+}
+
+// sectorOf returns which of k equal angular sectors around the depot the
+// point falls in.
+func sectorOf(depot, p geom.Point, k int) int {
+	ang := math.Atan2(p.Y-depot.Y, p.X-depot.X) // [-pi, pi]
+	frac := (ang + math.Pi) / (2 * math.Pi)     // [0, 1]
+	s := int(frac * float64(k))
+	if s >= k {
+		s = k - 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+func intersectSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+package tsp
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mst"
+)
+
+// NearestNeighbor builds a tour by repeatedly moving to the closest
+// unvisited point, starting at start. O(n^2).
+func NearestNeighbor(pts []geom.Point, start int) Tour {
+	n := len(pts)
+	if n == 0 || start < 0 || start >= n {
+		return Tour{}
+	}
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	visited[cur] = true
+	order = append(order, cur)
+	for len(order) < n {
+		best, bestD := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if visited[v] {
+				continue
+			}
+			if d := geom.Dist(pts[cur], pts[v]); d < bestD {
+				best, bestD = v, d
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = best
+	}
+	return Tour{Order: order}
+}
+
+// MSTApprox builds a tour by the classic MST-doubling construction: compute
+// the Euclidean MST rooted at start and shortcut its preorder walk. The
+// resulting tour is at most twice the optimal TSP tour length (triangle
+// inequality).
+func MSTApprox(pts []geom.Point, start int) Tour {
+	tree := mst.Euclidean(pts, start)
+	if tree == nil {
+		return Tour{}
+	}
+	return Tour{Order: tree.PreorderDFS()}
+}
+
+// CheapestInsertion builds a tour by starting from the start vertex and
+// its nearest neighbor and repeatedly inserting the unvisited point whose
+// best insertion position increases the tour length the least. O(n^2 log n)
+// in spirit, implemented as O(n^3 / something) simple scans — fine for the
+// sizes this library plans. For metric instances the construction is a
+// 2-approximation.
+func CheapestInsertion(pts []geom.Point, start int) Tour {
+	n := len(pts)
+	if n == 0 || start < 0 || start >= n {
+		return Tour{}
+	}
+	if n <= 2 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = (start + i) % n
+		}
+		return Tour{Order: order}
+	}
+	visited := make([]bool, n)
+	visited[start] = true
+	// Seed with the nearest neighbor of start.
+	second, bestD := -1, math.Inf(1)
+	for v := 0; v < n; v++ {
+		if v == start {
+			continue
+		}
+		if d := geom.Dist(pts[start], pts[v]); d < bestD {
+			second, bestD = v, d
+		}
+	}
+	visited[second] = true
+	order := []int{start, second}
+	for len(order) < n {
+		bestV, bestPos, bestCost := -1, 0, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if visited[v] {
+				continue
+			}
+			for i := range order {
+				a := order[i]
+				b := order[(i+1)%len(order)]
+				cost := geom.Dist(pts[a], pts[v]) + geom.Dist(pts[v], pts[b]) -
+					geom.Dist(pts[a], pts[b])
+				if cost < bestCost {
+					bestV, bestPos, bestCost = v, i+1, cost
+				}
+			}
+		}
+		visited[bestV] = true
+		order = append(order, 0)
+		copy(order[bestPos+1:], order[bestPos:])
+		order[bestPos] = bestV
+	}
+	t := Tour{Order: order}
+	t.RotateToStart(start)
+	return t
+}
+
+// Christofides builds a tour in the style of Christofides' algorithm: MST,
+// then a matching on the odd-degree MST vertices, then an Euler circuit of
+// the union, shortcut to a Hamiltonian tour. The odd-vertex matching here
+// is the greedy shortest-edge-first matching rather than an exact
+// minimum-weight perfect matching, so the guarantee is the MST-doubling
+// bound of 2 rather than 1.5; in practice it produces noticeably shorter
+// tours than MSTApprox.
+func Christofides(pts []geom.Point, start int) Tour {
+	n := len(pts)
+	if n == 0 || start < 0 || start >= n {
+		return Tour{}
+	}
+	if n <= 2 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = (start + i) % n
+		}
+		return Tour{Order: order}
+	}
+	tree := mst.Euclidean(pts, start)
+	// Multigraph adjacency: MST edges plus matching edges.
+	adj := make([][]int, n)
+	degree := make([]int, n)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		degree[u]++
+		degree[v]++
+	}
+	for v, p := range tree.Parent {
+		if p >= 0 {
+			addEdge(v, p)
+		}
+	}
+	// Odd-degree vertices; there is always an even number of them.
+	var odd []int
+	for v := 0; v < n; v++ {
+		if degree[v]%2 == 1 {
+			odd = append(odd, v)
+		}
+	}
+	for _, e := range greedyMatching(pts, odd) {
+		addEdge(e[0], e[1])
+	}
+	circuit := eulerCircuit(adj, start)
+	// Shortcut repeated vertices.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for _, v := range circuit {
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, v)
+		}
+	}
+	return Tour{Order: order}
+}
+
+// greedyMatching pairs up the given vertices by repeatedly taking the
+// shortest remaining edge between two unmatched vertices. len(odd) must be
+// even (always true for odd-degree vertices of a graph).
+func greedyMatching(pts []geom.Point, odd []int) [][2]int {
+	type cand struct {
+		i, j int // indices into odd
+		d    float64
+	}
+	var cands []cand
+	for i := 0; i < len(odd); i++ {
+		for j := i + 1; j < len(odd); j++ {
+			cands = append(cands, cand{i, j, geom.Dist(pts[odd[i]], pts[odd[j]])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	matched := make([]bool, len(odd))
+	var out [][2]int
+	for _, c := range cands {
+		if matched[c.i] || matched[c.j] {
+			continue
+		}
+		matched[c.i], matched[c.j] = true, true
+		out = append(out, [2]int{odd[c.i], odd[c.j]})
+	}
+	return out
+}
+
+// eulerCircuit returns an Eulerian circuit of the connected multigraph adj
+// starting at start, using Hierholzer's algorithm. Every vertex must have
+// even degree. adj is consumed.
+func eulerCircuit(adj [][]int, start int) []int {
+	// Track used edge slots per vertex via head pointers; because the
+	// multigraph stores each edge twice we mark consumption with a
+	// per-vertex multiset of pending partners.
+	pending := make([]map[int]int, len(adj))
+	for v, ns := range adj {
+		pending[v] = make(map[int]int, len(ns))
+		for _, w := range ns {
+			pending[v][w]++
+		}
+	}
+	takeEdge := func(u, v int) {
+		pending[u][v]--
+		if pending[u][v] == 0 {
+			delete(pending[u], v)
+		}
+		pending[v][u]--
+		if pending[v][u] == 0 {
+			delete(pending[v], u)
+		}
+	}
+	var circuit []int
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if len(pending[v]) == 0 {
+			circuit = append(circuit, v)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		// Pick any pending partner deterministically (lowest index).
+		next := -1
+		for w := range pending[v] {
+			if next < 0 || w < next {
+				next = w
+			}
+		}
+		takeEdge(v, next)
+		stack = append(stack, next)
+	}
+	// Reverse so the circuit starts at start.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit
+}

@@ -1,0 +1,122 @@
+package tsp
+
+import "repro/internal/geom"
+
+// TwoOpt improves the tour in place with 2-opt moves until no improving
+// move exists or maxRounds passes complete (maxRounds <= 0 means no cap).
+// It never lengthens the tour, and returns the number of improving moves
+// applied.
+func TwoOpt(t *Tour, pts []geom.Point, maxRounds int) int {
+	n := len(t.Order)
+	if n < 4 {
+		return 0
+	}
+	moves := 0
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+		for i := 0; i < n-1; i++ {
+			a, b := t.Order[i], t.Order[i+1]
+			for j := i + 2; j < n; j++ {
+				// Skip the move that would touch the closing edge twice.
+				if i == 0 && j == n-1 {
+					continue
+				}
+				c := t.Order[j]
+				d := t.Order[(j+1)%n]
+				delta := geom.Dist(pts[a], pts[c]) + geom.Dist(pts[b], pts[d]) -
+					geom.Dist(pts[a], pts[b]) - geom.Dist(pts[c], pts[d])
+				if delta < -1e-12 {
+					reverse(t.Order, i+1, j)
+					b = t.Order[i+1]
+					improved = true
+					moves++
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}
+
+// OrOpt improves the tour in place by relocating chains of 1..3 consecutive
+// vertices to better positions (Or-opt moves). It complements 2-opt, which
+// cannot perform segment relocation. Returns the number of improving moves.
+func OrOpt(t *Tour, pts []geom.Point, maxRounds int) int {
+	n := len(t.Order)
+	if n < 5 {
+		return 0
+	}
+	dist := func(i, j int) float64 { return geom.Dist(pts[t.Order[i]], pts[t.Order[j]]) }
+	moves := 0
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+		for segLen := 1; segLen <= 3; segLen++ {
+			for i := 1; i+segLen <= n; i++ { // keep Order[0] (depot) fixed
+				j := i + segLen - 1 // segment [i..j]
+				prev := i - 1
+				next := (j + 1) % n
+				removeGain := dist(prev, i) + dist(j, next) - dist(prev, next)
+				if removeGain <= 1e-12 {
+					continue
+				}
+				// Try inserting between every other consecutive pair.
+				for p := 0; p < n; p++ {
+					q := (p + 1) % n
+					if p >= prev && p <= j { // overlapping positions
+						continue
+					}
+					insertCost := dist(p, i) + dist(j, q) - dist(p, q)
+					if insertCost < removeGain-1e-12 {
+						relocate(t.Order, i, j, p)
+						improved = true
+						moves++
+						// Indices shifted; restart this segment length.
+						i = 0
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}
+
+// reverse reverses order[i..j] inclusive.
+func reverse(order []int, i, j int) {
+	for i < j {
+		order[i], order[j] = order[j], order[i]
+		i++
+		j--
+	}
+}
+
+// relocate moves the segment order[i..j] (inclusive) to just after position
+// p, where p is outside [i-1, j].
+func relocate(order []int, i, j, p int) {
+	seg := append([]int(nil), order[i:j+1]...)
+	rest := append([]int(nil), order[:i]...)
+	rest = append(rest, order[j+1:]...)
+	// Position of the element originally at p within rest.
+	var pos int
+	if p < i {
+		pos = p
+	} else {
+		pos = p - (j - i + 1)
+	}
+	out := make([]int, 0, len(order))
+	out = append(out, rest[:pos+1]...)
+	out = append(out, seg...)
+	out = append(out, rest[pos+1:]...)
+	copy(order, out)
+}

@@ -1,0 +1,254 @@
+package tsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randPts(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestTourLength(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	tour := Tour{Order: []int{0, 1, 2, 3}}
+	if got := tour.Length(pts); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Length = %v, want 4", got)
+	}
+	if got := (Tour{}).Length(pts); got != 0 {
+		t.Errorf("empty tour length = %v", got)
+	}
+	if got := (Tour{Order: []int{2}}).Length(pts); got != 0 {
+		t.Errorf("singleton tour length = %v", got)
+	}
+}
+
+func TestTourValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		order   []int
+		n       int
+		wantErr bool
+	}{
+		{"valid", []int{2, 0, 1}, 3, false},
+		{"short", []int{0, 1}, 3, true},
+		{"repeat", []int{0, 1, 1}, 3, true},
+		{"out of range", []int{0, 1, 5}, 3, true},
+		{"negative", []int{0, -1, 2}, 3, true},
+		{"empty ok", nil, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Tour{Order: tt.order}.Validate(tt.n)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRotateToStart(t *testing.T) {
+	tour := Tour{Order: []int{3, 1, 4, 0, 2}}
+	tour.RotateToStart(0)
+	want := []int{0, 2, 3, 1, 4}
+	for i := range want {
+		if tour.Order[i] != want[i] {
+			t.Fatalf("rotated = %v, want %v", tour.Order, want)
+		}
+	}
+	before := append([]int(nil), tour.Order...)
+	tour.RotateToStart(99) // absent: no-op
+	for i := range before {
+		if tour.Order[i] != before[i] {
+			t.Fatal("RotateToStart(absent) modified tour")
+		}
+	}
+}
+
+func TestConstructorsProduceValidTours(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	builders := map[string]func([]geom.Point, int) Tour{
+		"nearest-neighbor":   NearestNeighbor,
+		"mst-approx":         MSTApprox,
+		"christofides":       Christofides,
+		"cheapest-insertion": CheapestInsertion,
+	}
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(120)
+		pts := randPts(rng, n)
+		start := rng.Intn(n)
+		for name, build := range builders {
+			tour := build(pts, start)
+			if err := tour.Validate(n); err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			if tour.Order[0] != start {
+				t.Fatalf("%s trial %d: starts at %d, want %d", name, trial, tour.Order[0], start)
+			}
+		}
+	}
+}
+
+func TestConstructorsEdgeCases(t *testing.T) {
+	for name, build := range map[string]func([]geom.Point, int) Tour{
+		"nearest-neighbor":   NearestNeighbor,
+		"mst-approx":         MSTApprox,
+		"christofides":       Christofides,
+		"cheapest-insertion": CheapestInsertion,
+	} {
+		if tour := build(nil, 0); len(tour.Order) != 0 {
+			t.Errorf("%s: empty pts should give empty tour", name)
+		}
+		if tour := build(randPts(rand.New(rand.NewSource(1)), 5), -1); len(tour.Order) != 0 {
+			t.Errorf("%s: bad start should give empty tour", name)
+		}
+		one := build([]geom.Point{geom.Pt(5, 5)}, 0)
+		if len(one.Order) != 1 || one.Order[0] != 0 {
+			t.Errorf("%s: single point tour = %v", name, one.Order)
+		}
+		two := build([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, 1)
+		if err := two.Validate(2); err != nil || two.Order[0] != 1 {
+			t.Errorf("%s: two point tour = %v (%v)", name, two.Order, err)
+		}
+	}
+}
+
+// TestMSTApproxWithinTwiceOptimal verifies the 2-approximation bound against
+// a brute-force optimum on small instances.
+func TestMSTApproxWithinTwiceOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(4) // 4..7
+		pts := randPts(rng, n)
+		opt := bruteForceOptimal(pts)
+		for name, build := range map[string]func([]geom.Point, int) Tour{
+			"mst-approx":         MSTApprox,
+			"christofides":       Christofides,
+			"cheapest-insertion": CheapestInsertion,
+		} {
+			got := build(pts, 0).Length(pts)
+			if got > 2*opt+1e-9 {
+				t.Errorf("trial %d: %s length %v > 2*opt %v", trial, name, got, 2*opt)
+			}
+		}
+	}
+}
+
+func bruteForceOptimal(pts []geom.Point) float64 {
+	n := len(pts)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if l := (Tour{Order: perm}).Length(pts); l < best {
+				best = l
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(1) // fix start at 0
+	return best
+}
+
+func TestTwoOptNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(100)
+		pts := randPts(rng, n)
+		tour := NearestNeighbor(pts, 0)
+		before := tour.Length(pts)
+		TwoOpt(&tour, pts, 0)
+		after := tour.Length(pts)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: 2-opt worsened %v -> %v", trial, before, after)
+		}
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTwoOptFixesCrossing(t *testing.T) {
+	// A deliberately crossed square tour: 0-2-1-3 crosses; 2-opt must undo it.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	tour := Tour{Order: []int{0, 2, 1, 3}}
+	if moves := TwoOpt(&tour, pts, 0); moves == 0 {
+		t.Fatal("expected at least one improving move")
+	}
+	if got := tour.Length(pts); math.Abs(got-4) > 1e-9 {
+		t.Errorf("after 2-opt length = %v, want 4", got)
+	}
+}
+
+func TestTwoOptTinyTours(t *testing.T) {
+	pts := randPts(rand.New(rand.NewSource(2)), 3)
+	tour := Tour{Order: []int{0, 1, 2}}
+	if moves := TwoOpt(&tour, pts, 0); moves != 0 {
+		t.Errorf("3-vertex tour cannot be improved, moves = %d", moves)
+	}
+}
+
+func TestOrOptNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(80)
+		pts := randPts(rng, n)
+		tour := NearestNeighbor(pts, 0)
+		before := tour.Length(pts)
+		OrOpt(&tour, pts, 50)
+		after := tour.Length(pts)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: Or-opt worsened %v -> %v", trial, before, after)
+		}
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("trial %d: invalid after Or-opt: %v", trial, err)
+		}
+		if tour.Order[0] != 0 {
+			t.Fatalf("trial %d: Or-opt moved the depot", trial)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Tour{Order: []int{0, 1, 2}}
+	b := a.Clone()
+	b.Order[0] = 9
+	if a.Order[0] != 0 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func BenchmarkChristofides1000(b *testing.B) {
+	pts := randPts(rand.New(rand.NewSource(1)), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Christofides(pts, 0)
+	}
+}
+
+func BenchmarkTwoOpt200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPts(rng, 200)
+	base := NearestNeighbor(pts, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tour := base.Clone()
+		TwoOpt(&tour, pts, 0)
+	}
+}

@@ -1,0 +1,35 @@
+package wrsn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Load reads a JSON-encoded network (as written by cmd/wrsn-gen or by
+// Save), validates it, and recomputes the derived routing state — parents,
+// relay loads and power draws — so that edits to positions or data rates in
+// the JSON are reflected consistently.
+func Load(r io.Reader) (*Network, error) {
+	var nw Network
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&nw); err != nil {
+		return nil, fmt.Errorf("wrsn: decode network: %w", err)
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	nw.BuildRouting()
+	return &nw, nil
+}
+
+// Save writes the network as indented JSON.
+func (nw *Network) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(nw); err != nil {
+		return fmt.Errorf("wrsn: encode network: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package wrsn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	nw := lineNetwork()
+	nw.BuildRouting()
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sensors) != len(nw.Sensors) {
+		t.Fatalf("sensors = %d, want %d", len(got.Sensors), len(nw.Sensors))
+	}
+	for i := range nw.Sensors {
+		a, b := nw.Sensors[i], got.Sensors[i]
+		if a.Pos != b.Pos || a.DataRate != b.DataRate || a.Battery != b.Battery {
+			t.Fatalf("sensor %d changed across round trip: %+v vs %+v", i, a, b)
+		}
+		if a.Parent != b.Parent || a.Draw != b.Draw {
+			t.Fatalf("sensor %d derived state not rebuilt: %+v vs %+v", i, a, b)
+		}
+	}
+	if got.Gamma != nw.Gamma || got.ChargeRate != nw.ChargeRate {
+		t.Error("network parameters changed across round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown fields accepted")
+	}
+	// Structurally valid JSON but an invalid network (zero tx range).
+	if _, err := Load(strings.NewReader(`{"field":{"min":{"x":0,"y":0},"max":{"x":10,"y":10}}}`)); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestLoadRebuildsRouting(t *testing.T) {
+	nw := lineNetwork()
+	nw.BuildRouting()
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the serialized parents; Load must fix them.
+	s := strings.ReplaceAll(buf.String(), `"parent": 0`, `"parent": 2`)
+	got, err := Load(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sensors[1].Parent != 0 {
+		t.Errorf("routing not rebuilt: parent = %d, want 0", got.Sensors[1].Parent)
+	}
+}

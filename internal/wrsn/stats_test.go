@@ -1,0 +1,43 @@
+package wrsn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStatsChain(t *testing.T) {
+	nw := lineNetwork()
+	nw.BuildRouting()
+	st := nw.ComputeStats()
+	if st.Sensors != 3 {
+		t.Fatalf("Sensors = %d", st.Sensors)
+	}
+	if math.Abs(st.TotalDrawW-nw.TotalDraw()) > 1e-9 {
+		t.Errorf("TotalDrawW = %v, want %v", st.TotalDrawW, nw.TotalDraw())
+	}
+	// Chain 0 <- 1 <- 2 with 0 uplinking directly: hops 1, 2, 3.
+	if st.MaxHops != 3 || math.Abs(st.MeanHops-2) > 1e-9 {
+		t.Errorf("hops: max=%d mean=%v", st.MaxHops, st.MeanHops)
+	}
+	if st.DirectUplinks != 1 {
+		t.Errorf("DirectUplinks = %d, want 1", st.DirectUplinks)
+	}
+	if st.MaxDrawW <= st.MeanDrawW {
+		t.Error("hot relay sensor should exceed the mean draw")
+	}
+	if st.MeanLifetimeDays <= 0 || st.MinLifetimeHours <= 0 {
+		t.Errorf("lifetimes not positive: %+v", st)
+	}
+	// Sensors 10 m apart with gamma 2.7: nobody co-covers anybody.
+	if st.MeanNeighbors != 0 {
+		t.Errorf("MeanNeighbors = %v, want 0", st.MeanNeighbors)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	nw := &Network{}
+	st := nw.ComputeStats()
+	if st.Sensors != 0 || st.TotalDrawW != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}

@@ -1,0 +1,217 @@
+// Package repro is the public API of this reproduction of "Minimizing the
+// Longest Charge Delay of Multiple Mobile Chargers for Wireless
+// Rechargeable Sensor Networks by Charging Multiple Sensors Simultaneously"
+// (Xu, Liang, Kan, Xu, Zhang — IEEE ICDCS 2019).
+//
+// The package exposes, as thin aliases over the internal implementation:
+//
+//   - the problem vocabulary (Instance, Request, Schedule, Tour, Stop);
+//   - the paper's Algorithm Appro (Appro, PlanAppro, NewApproPlanner) and
+//     the conflict-aware executor and feasibility verifier (Execute,
+//     Verify);
+//   - the four baselines the paper evaluates against (NewPlanner, Planners);
+//   - the WRSN world model and workload generator (Network, GenerateNetwork);
+//   - the one-year evaluation simulator (Simulate, SimConfig) and the
+//     figure harness (RunFigure) that regenerates the paper's Figures 3-5.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/capacitated"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lowerbound"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/wrsn"
+)
+
+// Problem vocabulary (see internal/core for full documentation).
+type (
+	// Instance is one longest-charge-delay minimization problem.
+	Instance = core.Instance
+	// Request is one to-be-charged sensor in V_s.
+	Request = core.Request
+	// Schedule is a complete K-tour solution.
+	Schedule = core.Schedule
+	// Tour is one charger's closed tour.
+	Tour = core.Tour
+	// Stop is one sojourn of a charger.
+	Stop = core.Stop
+	// Violation is a feasibility defect found by Verify.
+	Violation = core.Violation
+	// Planner plans charging tours for an instance.
+	Planner = core.Planner
+	// ApproOptions tunes Algorithm Appro.
+	ApproOptions = core.Options
+)
+
+// World model and evaluation (see internal/wrsn, internal/sim,
+// internal/workload, internal/experiments).
+type (
+	// Network is a complete wireless rechargeable sensor network.
+	Network = wrsn.Network
+	// Sensor is one stationary rechargeable sensor.
+	Sensor = wrsn.Sensor
+	// NetworkParams parameterizes the workload generator.
+	NetworkParams = workload.Params
+	// SimConfig controls a simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates one simulation run.
+	SimResult = sim.Result
+	// ExperimentOptions configures the figure harness.
+	ExperimentOptions = experiments.Options
+	// FigureResult is a regenerated evaluation figure.
+	FigureResult = experiments.Figure
+)
+
+// DispatchMode selects the simulator's dispatch protocol.
+type DispatchMode = sim.DispatchMode
+
+// Dispatch protocols for SimConfig.Dispatch.
+const (
+	// DispatchSynchronized is the paper's round-based protocol (default).
+	DispatchSynchronized = sim.DispatchSynchronized
+	// DispatchIndependent lets each charger redispatch on its own while
+	// staying safe against simultaneous charging.
+	DispatchIndependent = sim.DispatchIndependent
+)
+
+// Year is the paper's one-year monitoring period T_M, in seconds.
+const Year = sim.Year
+
+// DefaultBatchWindow is the dispatch batching window used by the figure
+// harness (24 hours).
+const DefaultBatchWindow = sim.DefaultBatchWindow
+
+// Appro runs Algorithm 1 of the paper and returns the planned schedule.
+// Most callers want PlanAppro, which additionally executes the plan so the
+// returned times are conflict-free.
+func Appro(in *Instance, opts ApproOptions) (*Schedule, error) {
+	return core.Appro(in, opts)
+}
+
+// PlanAppro plans with Algorithm Appro and executes the plan, returning a
+// schedule that provably never charges a sensor from two chargers at once.
+func PlanAppro(in *Instance, opts ApproOptions) (*Schedule, error) {
+	return core.ApproPlanner{Opts: opts}.Plan(in)
+}
+
+// Execute simulates the chargers driving a planned schedule, enforcing the
+// no-simultaneous-charging constraint by waiting where needed.
+func Execute(in *Instance, planned *Schedule) *Schedule {
+	return core.Execute(in, planned)
+}
+
+// Verify independently checks a schedule against the problem definition
+// (coverage, disjointness, travel-time consistency, no simultaneous
+// charging) and returns all violations found.
+func Verify(in *Instance, s *Schedule) []Violation {
+	return core.Verify(in, s)
+}
+
+// NewApproPlanner returns Algorithm Appro as a Planner.
+func NewApproPlanner(opts ApproOptions) Planner {
+	return core.ApproPlanner{Opts: opts}
+}
+
+// NewPlanner returns a planner by its paper name: "Appro", "K-EDF",
+// "NETWRAP", "AA" or "K-minMax".
+func NewPlanner(name string) (Planner, error) {
+	switch name {
+	case "Appro", "appro":
+		return core.ApproPlanner{}, nil
+	case "K-EDF", "k-edf", "kedf":
+		return baselines.KEDF{}, nil
+	case "NETWRAP", "netwrap":
+		return baselines.NETWRAP{}, nil
+	case "AA", "aa":
+		return baselines.AA{}, nil
+	case "K-minMax", "k-minmax", "kminmax":
+		return baselines.KMinMax{}, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown planner %q (want Appro, K-EDF, NETWRAP, AA or K-minMax)", name)
+	}
+}
+
+// Planners returns all five algorithms in the paper's presentation order:
+// Appro first, then the four baselines.
+func Planners() []Planner {
+	out := []Planner{core.ApproPlanner{}}
+	return append(out, baselines.All()...)
+}
+
+// NewNetworkParams returns the paper's default environment for n sensors
+// (Section VI-A): 100 x 100 m^2 field, 10.8 kJ batteries, 1-50 kbps data
+// rates, gamma 2.7 m, speed 1 m/s, eta 2 W.
+func NewNetworkParams(n int) NetworkParams { return workload.NewParams(n) }
+
+// GenerateNetwork builds a routed WRSN from the parameters; equal seeds
+// produce identical networks.
+func GenerateNetwork(p NetworkParams, seed int64) (*Network, error) {
+	return workload.Generate(p, seed)
+}
+
+// Simulate runs the paper's evaluation protocol on the network with k
+// chargers under the given planner.
+func Simulate(nw *Network, k int, planner Planner, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(nw, k, planner, cfg)
+}
+
+// RunFigure regenerates one of the paper's evaluation figures: id "3"
+// sweeps the network size, "4" the maximum data rate, "5" the number of
+// chargers. It returns the (a) panel — average longest tour duration in
+// hours — and the (b) panel — average dead duration per sensor in minutes.
+func RunFigure(id string, opt ExperimentOptions) (a, b *FigureResult, err error) {
+	return experiments.Run(id, opt)
+}
+
+// Analysis and bounds (see internal/core and internal/lowerbound).
+type (
+	// Analysis reports the ingredients of the paper's approximation-ratio
+	// proof, computed for a concrete instance.
+	Analysis = core.Analysis
+	// LowerBound holds provable lower bounds on the optimal longest
+	// charge delay.
+	LowerBound = lowerbound.Bound
+)
+
+// Analyze computes the approximation-ratio ingredients of Theorem 1 — the
+// auxiliary graph's maximum degree, tau_max/tau_min, and the resulting
+// instance-specific guarantee — without producing a schedule.
+func Analyze(in *Instance, opts ApproOptions) (*Analysis, error) {
+	return core.Analyze(in, opts)
+}
+
+// ComputeLowerBound returns provable lower bounds on the optimal longest
+// charge delay; Schedule.Longest / ComputeLowerBound(in).Value bounds a
+// schedule's true approximation factor from above.
+func ComputeLowerBound(in *Instance) LowerBound {
+	return lowerbound.Compute(in)
+}
+
+// Capacitated chargers (see internal/capacitated): the paper assumes
+// chargers carry enough energy for a whole tour; these types drop that
+// assumption.
+type (
+	// ChargerParams is the charger's energy model.
+	ChargerParams = capacitated.Params
+	// CapacitatedPlan splits each tour into battery-feasible trips.
+	CapacitatedPlan = capacitated.Plan
+)
+
+// SplitCapacitated converts a planned schedule into depot-returning trips
+// that each fit the charger battery. eta is the charging rate in watts.
+func SplitCapacitated(in *Instance, s *Schedule, eta float64, p ChargerParams) (*CapacitatedPlan, error) {
+	return capacitated.Split(in, s, eta, p)
+}
+
+// LoadNetwork reads a JSON network (as written by cmd/wrsn-gen or
+// Network.Save) and recomputes its routing state.
+func LoadNetwork(r io.Reader) (*Network, error) { return wrsn.Load(r) }

@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/geom"
+)
+
+func demoInstance(rng *rand.Rand, n, k int) *repro.Instance {
+	in := &repro.Instance{
+		Depot: geom.Pt(50, 50),
+		Gamma: 2.7,
+		Speed: 1,
+		K:     k,
+	}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, repro.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+		})
+	}
+	return in
+}
+
+func TestPublicPlanAndVerifyRoundTrip(t *testing.T) {
+	in := demoInstance(rand.New(rand.NewSource(1)), 80, 2)
+	s, err := repro.PlanAppro(in, repro.ApproOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := repro.Verify(in, s); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if s.Longest <= 0 {
+		t.Error("empty objective")
+	}
+}
+
+func TestPublicApproThenExecute(t *testing.T) {
+	in := demoInstance(rand.New(rand.NewSource(2)), 50, 3)
+	planned, err := repro.Appro(in, repro.ApproOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := repro.Execute(in, planned)
+	if vs := repro.Verify(in, executed); len(vs) != 0 {
+		t.Fatalf("executed violations: %v", vs)
+	}
+}
+
+func TestNewPlannerNames(t *testing.T) {
+	for _, name := range []string{"Appro", "K-EDF", "NETWRAP", "AA", "K-minMax", "appro", "kminmax"} {
+		if _, err := repro.NewPlanner(name); err != nil {
+			t.Errorf("NewPlanner(%q): %v", name, err)
+		}
+	}
+	if _, err := repro.NewPlanner("bogus"); err == nil {
+		t.Error("bogus planner accepted")
+	}
+}
+
+func TestPlannersOrder(t *testing.T) {
+	ps := repro.Planners()
+	if len(ps) != 5 || ps[0].Name() != "Appro" {
+		t.Fatalf("Planners() = %v", ps)
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	nw, err := repro.GenerateNetwork(repro.NewNetworkParams(50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range repro.Planners() {
+		res, err := repro.Simulate(nw, 2, p, repro.SimConfig{
+			Duration:    20 * 86400,
+			BatchWindow: repro.DefaultBatchWindow,
+			Verify:      true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("%s: violations %d", p.Name(), res.Violations)
+		}
+		if res.Charges == 0 {
+			t.Errorf("%s: nothing charged", p.Name())
+		}
+	}
+}
+
+func TestPublicRunFigureTiny(t *testing.T) {
+	a, b, err := repro.RunFigure("5", repro.ExperimentOptions{
+		Instances: 1,
+		Duration:  5 * 86400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "5a" || b.ID != "5b" || len(a.Series) != 5 {
+		t.Errorf("figure shape wrong: %s %s %d series", a.ID, b.ID, len(a.Series))
+	}
+}
