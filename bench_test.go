@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -27,7 +28,7 @@ func benchOpts() repro.ExperimentOptions {
 func runFigure(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		a, bb, err := repro.RunFigure(id, benchOpts())
+		a, bb, err := repro.RunFigure(context.Background(), id, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkPlanners(b *testing.B) {
 	for _, p := range repro.Planners() {
 		b.Run(p.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := p.Plan(in); err != nil {
+				if _, err := p.Plan(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -105,7 +106,7 @@ func BenchmarkApproScaling(b *testing.B) {
 		in := benchInstance(n, 2)
 		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := repro.Appro(in, repro.ApproOptions{}); err != nil {
+				if _, err := repro.Appro(context.Background(), in, repro.ApproOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -116,7 +117,7 @@ func BenchmarkApproScaling(b *testing.B) {
 // BenchmarkVerify measures the independent feasibility verifier.
 func BenchmarkVerify(b *testing.B) {
 	in := benchInstance(400, 2)
-	s, err := repro.PlanAppro(in, repro.ApproOptions{})
+	s, err := repro.PlanAppro(context.Background(), in, repro.ApproOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func BenchmarkSimulateYear(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Simulate(nw, 2, planner, repro.SimConfig{
+		if _, err := repro.Simulate(context.Background(), nw, 2, planner, repro.SimConfig{
 			BatchWindow: repro.DefaultBatchWindow,
 		}); err != nil {
 			b.Fatal(err)

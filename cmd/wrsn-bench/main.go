@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +47,8 @@ func main() {
 		jsonDir   = flag.String("jsondir", "", "also write each figure panel as machine-readable JSON into this directory")
 		verify    = flag.Bool("verify", false, "run the feasibility verifier every round")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+		timeout   = flag.Duration("timeout", 0, "abort after this long, reporting whatever completed (0 = no limit)")
+		traceJSON = flag.String("trace-json", "", `write aggregated stage timings and counters as JSON to this file ("-" for stderr)`)
 	)
 	flag.Parse()
 
@@ -57,28 +63,53 @@ func main() {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
 
-	if err := run(*fig, opt, *csv, *svgDir, *jsonDir); err != nil {
+	// SIGINT cancels the sweep gracefully: completed cells still make it
+	// into the (partial) figures. A second SIGINT kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var tracer *obs.Tracer
+	if *traceJSON != "" {
+		tracer = obs.New()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
+	err := run(ctx, *fig, opt, *csv, *svgDir, *jsonDir)
+	if tracer != nil {
+		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "wrsn-bench: partial — cancelled:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "wrsn-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
+func run(ctx context.Context, fig string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
 	start := time.Now()
 	switch fig {
 	case "3", "4", "5", "C", "c":
-		if err := runFigure(fig, opt, csv, svgDir, jsonDir); err != nil {
+		if err := runFigure(ctx, fig, opt, csv, svgDir, jsonDir); err != nil {
 			return err
 		}
 	case "all":
 		for _, id := range []string{"3", "4", "5", "C"} {
-			if err := runFigure(id, opt, csv, svgDir, jsonDir); err != nil {
+			if err := runFigure(ctx, id, opt, csv, svgDir, jsonDir); err != nil {
 				return err
 			}
 		}
 	case "ablation":
 		for _, id := range []string{experiments.AblationMIS, experiments.AblationInsertion, experiments.AblationTourBuilder, experiments.AblationDispatch, experiments.AblationPartial} {
-			if err := runAblation(id, opt, csv); err != nil {
+			if err := runAblation(ctx, id, opt, csv); err != nil {
 				return err
 			}
 		}
@@ -89,29 +120,50 @@ func run(fig string, opt experiments.Options, csv bool, svgDir, jsonDir string) 
 	return nil
 }
 
-func runFigure(id string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
-	a, b, err := experiments.Run(id, opt)
-	if err != nil {
+func runFigure(ctx context.Context, id string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
+	a, b, err := experiments.Run(ctx, id, opt)
+	if err != nil && a == nil {
 		return err
 	}
 	for _, f := range []*experiments.Figure{a, b} {
-		if err := printFigure(f, opt, csv); err != nil {
-			return err
+		if perr := printFigure(f, opt, csv); perr != nil {
+			return perr
 		}
 		if svgDir != "" {
-			if err := writeSVG(svgDir, f); err != nil {
-				return err
+			if serr := writeSVG(svgDir, f); serr != nil {
+				return serr
 			}
 		}
 		if jsonDir != "" {
-			if err := writeJSON(jsonDir, f); err != nil {
-				return err
+			if jerr := writeJSON(jsonDir, f); jerr != nil {
+				return jerr
 			}
 		}
+	}
+	if err != nil {
+		return err // cancelled: the printed panels aggregate completed cells only
 	}
 	if a.Violations > 0 {
 		return fmt.Errorf("figure %s: %d feasibility violations", id, a.Violations)
 	}
+	return nil
+}
+
+// writeTrace dumps the tracer's aggregated report as JSON to the path
+// ("-" means stderr).
+func writeTrace(path string, t *obs.Tracer) error {
+	if path == "-" {
+		return t.WriteJSON(os.Stderr)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := t.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 
@@ -141,11 +193,12 @@ func printFigure(f *experiments.Figure, opt experiments.Options, csv bool) error
 	return nil
 }
 
-func runAblation(id string, opt experiments.Options, csv bool) error {
-	rows, err := experiments.RunAblation(id, opt)
-	if err != nil {
+func runAblation(ctx context.Context, id string, opt experiments.Options, csv bool) error {
+	rows, err := experiments.RunAblation(ctx, id, opt)
+	if err != nil && len(rows) == 0 {
 		return err
 	}
+	cancelled := err
 	title := fmt.Sprintf("Ablation %q — dense single rounds, K=2 (%d instances)", id, opt.Instances)
 	lastCol := "conflict wait (s)"
 	if id == experiments.AblationDispatch || id == experiments.AblationPartial {
@@ -165,7 +218,7 @@ func runAblation(id string, opt experiments.Options, csv bool) error {
 		return err
 	}
 	fmt.Println()
-	return nil
+	return cancelled
 }
 
 // writeSVG renders one figure panel into dir as fig<ID>.svg.

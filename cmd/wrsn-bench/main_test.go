@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -12,14 +13,14 @@ func tinyOpts() experiments.Options {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("9", tinyOpts(), false, "", ""); err == nil {
+	if err := run(context.Background(), "9", tinyOpts(), false, "", ""); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
 
 func TestRunFigure5WithSVG(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("5", tinyOpts(), false, dir, dir); err != nil {
+	if err := run(context.Background(), "5", tinyOpts(), false, dir, dir); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig5a.svg", "fig5b.svg"} {
@@ -30,13 +31,13 @@ func TestRunFigure5WithSVG(t *testing.T) {
 }
 
 func TestRunFigureCSV(t *testing.T) {
-	if err := run("4", tinyOpts(), true, "", ""); err != nil {
+	if err := run(context.Background(), "4", tinyOpts(), true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAblations(t *testing.T) {
-	if err := run("ablation", tinyOpts(), false, "", ""); err != nil {
+	if err := run(context.Background(), "ablation", tinyOpts(), false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

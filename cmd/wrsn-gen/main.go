@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -26,21 +29,39 @@ func main() {
 		clusters = flag.Int("clusters", 0, "place sensors in this many clusters instead of uniformly")
 		out      = flag.String("o", "", "output path (default stdout)")
 		summary  = flag.Bool("summary", false, "print a human summary to stderr")
+		timeout  = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	flag.Parse()
 
-	if err := run(*n, *seed, *bmax, *clusters, *out, *summary); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *n, *seed, *bmax, *clusters, *out, *summary); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "wrsn-gen: cancelled:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "wrsn-gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, bmaxKbps float64, clusters int, out string, summary bool) error {
+func run(ctx context.Context, n int, seed int64, bmaxKbps float64, clusters int, out string, summary bool) error {
 	params := repro.NewNetworkParams(n)
 	params.BMaxBps = bmaxKbps * 1e3
 	params.Clusters = clusters
 	nw, err := repro.GenerateNetwork(params, seed)
 	if err != nil {
+		return err
+	}
+	// Generation is a single fast step; honor cancellation before
+	// touching the output so an interrupted run never half-writes a file.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 

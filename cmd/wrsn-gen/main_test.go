@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestRunWritesLoadableJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "net.json")
-	if err := run(25, 3, 50, 0, path, true); err != nil {
+	if err := run(context.Background(), 25, 3, 50, 0, path, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -30,7 +31,7 @@ func TestRunWritesLoadableJSON(t *testing.T) {
 
 func TestRunClustered(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "clustered.json")
-	if err := run(40, 1, 30, 4, path, false); err != nil {
+	if err := run(context.Background(), 40, 1, 30, 4, path, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -43,7 +44,7 @@ func TestRunClustered(t *testing.T) {
 }
 
 func TestRunRejectsBadOutputPath(t *testing.T) {
-	if err := run(5, 1, 50, 0, filepath.Join(t.TempDir(), "no", "such", "dir.json"), false); err == nil {
+	if err := run(context.Background(), 5, 1, 50, 0, filepath.Join(t.TempDir(), "no", "such", "dir.json"), false); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"repro"
 	"repro/internal/export"
@@ -22,20 +25,63 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 400, "number of charging requests in V_s")
-		k       = flag.Int("k", 2, "number of mobile chargers")
-		name    = flag.String("planner", "Appro", "algorithm: Appro, K-EDF, NETWRAP, AA or K-minMax")
-		seed    = flag.Int64("seed", 1, "request set seed")
-		svgPath = flag.String("svg", "", "write an SVG rendering of the tours to this file")
-		gantt   = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
-		compare = flag.Bool("compare", false, "plan with all five algorithms and compare objectives")
+		n         = flag.Int("n", 400, "number of charging requests in V_s")
+		k         = flag.Int("k", 2, "number of mobile chargers")
+		name      = flag.String("planner", "Appro", "algorithm: Appro, K-EDF, NETWRAP, AA or K-minMax")
+		seed      = flag.Int64("seed", 1, "request set seed")
+		svgPath   = flag.String("svg", "", "write an SVG rendering of the tours to this file")
+		gantt     = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
+		compare   = flag.Bool("compare", false, "plan with all five algorithms and compare objectives")
+		timeout   = flag.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
+		traceJSON = flag.String("trace-json", "", `write per-stage timings and counters as JSON to this file ("-" for stderr)`)
 	)
 	flag.Parse()
 
-	if err := run(*n, *k, *name, *seed, *svgPath, *gantt, *compare); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var tracer *repro.Tracer
+	if *traceJSON != "" {
+		tracer = repro.NewTracer()
+		ctx = repro.WithTracer(ctx, tracer)
+	}
+
+	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare)
+	if tracer != nil {
+		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "wrsn-plan: cancelled:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the tracer's aggregated report as JSON to the path
+// ("-" means stderr).
+func writeTrace(path string, t *repro.Tracer) error {
+	if path == "-" {
+		return t.WriteJSON(os.Stderr)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := t.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 // buildInstance synthesizes a request set matching the paper's planning
@@ -59,7 +105,7 @@ func buildInstance(n, k int, seed int64) *repro.Instance {
 	return in
 }
 
-func run(n, k int, name string, seed int64, svgPath, ganttPath string, compare bool) error {
+func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool) error {
 	in := buildInstance(n, k, seed)
 
 	if compare {
@@ -67,7 +113,7 @@ func run(n, k int, name string, seed int64, svgPath, ganttPath string, compare b
 			fmt.Sprintf("one planning round, n=%d requests, K=%d", n, k),
 			"algorithm", "longest delay (h)", "stops", "total wait (s)", "violations")
 		for _, p := range repro.Planners() {
-			s, err := p.Plan(in)
+			s, err := p.Plan(ctx, in)
 			if err != nil {
 				return fmt.Errorf("%s: %w", p.Name(), err)
 			}
@@ -82,7 +128,7 @@ func run(n, k int, name string, seed int64, svgPath, ganttPath string, compare b
 	if err != nil {
 		return err
 	}
-	s, err := planner.Plan(in)
+	s, err := planner.Plan(ctx, in)
 	if err != nil {
 		return err
 	}
@@ -104,9 +150,11 @@ func run(n, k int, name string, seed int64, svgPath, ganttPath string, compare b
 			lb.Value/3600, lb.Farthest/3600, lb.PackingWork/3600, lb.PackingTravel/3600, lb.PackingSize)
 		fmt.Printf("empirical approx factor:  <= %.2f\n", s.Longest/lb.Value)
 	}
-	if ana, err := repro.Analyze(in, repro.ApproOptions{}); err == nil {
+	if ana, err := repro.Analyze(ctx, in, repro.ApproOptions{}); err == nil {
 		fmt.Printf("theoretical guarantee:    %.1f (Delta_H=%d <= %d, tau_max/tau_min=%.2f, |S_I|=%d, |V'_H|=%d)\n",
 			ana.Ratio, ana.DeltaH, 26, ana.TauMax/ana.TauMin, ana.SI, ana.VH)
+	} else if ctx.Err() != nil {
+		fmt.Println("theoretical guarantee:    skipped (deadline reached after planning)")
 	}
 
 	if svgPath != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,17 +29,17 @@ func TestBuildInstanceShape(t *testing.T) {
 }
 
 func TestRunSingleAndCompare(t *testing.T) {
-	if err := run(60, 2, "Appro", 1, "", "", false); err != nil {
+	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(40, 2, "", 1, "", "", true); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tours.svg")
-	if err := run(30, 2, "Appro", 1, path, "", false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -51,14 +52,14 @@ func TestRunWritesSVG(t *testing.T) {
 }
 
 func TestRunUnknownPlanner(t *testing.T) {
-	if err := run(10, 1, "bogus", 1, "", "", false); err == nil {
+	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false); err == nil {
 		t.Error("unknown planner accepted")
 	}
 }
 
 func TestRunWritesGantt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gantt.svg")
-	if err := run(30, 2, "Appro", 1, "", path, false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 	"repro/internal/export"
@@ -34,15 +37,30 @@ func main() {
 		level   = flag.Float64("level", 1.0, "partial-charging level: top sensors up to this fraction of capacity")
 		indep   = flag.Bool("independent", false, "use independent per-charger dispatch instead of synchronized rounds")
 		trace   = flag.String("trace", "", "write a JSONL event trace (dispatch/charge/dead) to this file")
+		timeout = flag.Duration("timeout", 0, "abort the simulation after this long, reporting the partial run (0 = no limit)")
 	)
 	flag.Parse()
 
-	if err := run(runOpts{
+	// SIGINT cancels gracefully: the statistics of the simulated span so
+	// far are still reported. A second SIGINT kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, runOpts{
 		n: *n, k: *k, name: *name, days: *days, windowH: *window,
 		seed: *seed, bmaxKbps: *bmax, clusters: *cluster, load: *load,
 		level: *level, independent: *indep, verify: *verify, printRounds: *rounds,
 		trace: *trace,
 	}); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "wrsn-sim: partial — cancelled:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
 		os.Exit(1)
 	}
@@ -60,7 +78,7 @@ type runOpts struct {
 	trace                   string
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) error {
 	n, k, name := o.n, o.k, o.name
 	days, windowH, seed := o.days, o.windowH, o.seed
 	bmaxKbps, clusters, load := o.bmaxKbps, o.clusters, o.load
@@ -112,9 +130,12 @@ func run(o runOpts) error {
 		defer tf.Close()
 		cfg.Trace = tf
 	}
-	res, err := repro.Simulate(nw, k, planner, cfg)
-	if err != nil {
-		return err
+	res, simErr := repro.Simulate(ctx, nw, k, planner, cfg)
+	if simErr != nil && res == nil {
+		return simErr
+	}
+	if simErr != nil {
+		fmt.Printf("cancelled after %.1f simulated days — partial statistics:\n", res.End/86400)
 	}
 
 	if printRounds {
@@ -143,5 +164,5 @@ func run(o runOpts) error {
 			return fmt.Errorf("%d feasibility violations", res.Violations)
 		}
 	}
-	return nil
+	return simErr
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,7 +15,7 @@ func baseOpts() runOpts {
 }
 
 func TestRunSmoke(t *testing.T) {
-	if err := run(baseOpts()); err != nil {
+	if err := run(context.Background(), baseOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,7 +25,7 @@ func TestRunEveryPlanner(t *testing.T) {
 		o := baseOpts()
 		o.name = name
 		o.days = 5
-		if err := run(o); err != nil {
+		if err := run(context.Background(), o); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -33,7 +34,7 @@ func TestRunEveryPlanner(t *testing.T) {
 func TestRunUnknownPlanner(t *testing.T) {
 	o := baseOpts()
 	o.name = "nope"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Error("unknown planner accepted")
 	}
 }
@@ -43,7 +44,7 @@ func TestRunIndependentAndPartial(t *testing.T) {
 	o.independent = true
 	o.level = 0.8
 	o.printRounds = true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,7 +52,7 @@ func TestRunIndependentAndPartial(t *testing.T) {
 func TestRunLoadMissingFile(t *testing.T) {
 	o := baseOpts()
 	o.load = filepath.Join(t.TempDir(), "missing.json")
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -63,7 +64,7 @@ func TestRunLoadGarbageFile(t *testing.T) {
 	}
 	o := baseOpts()
 	o.load = path
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Error("garbage file accepted")
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,7 +34,7 @@ func main() {
 		})
 	}
 
-	sched, err := repro.PlanAppro(in, repro.ApproOptions{})
+	sched, err := repro.PlanAppro(context.Background(), in, repro.ApproOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 		TransferEfficiency: 0.5,
 		TurnaroundS:        1800, // 30 min battery swap at the depot
 	}
-	plan, err := repro.SplitCapacitated(in, sched, 2, params)
+	plan, err := repro.SplitCapacitated(context.Background(), in, sched, 2, params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	fmt.Printf("city grid: %d requesting sensors, K=%d chargers\n\n", len(in.Requests), in.K)
 	fmt.Println("algorithm  longest delay (h)  stops  verified")
 	for _, p := range repro.Planners() {
-		s, err := p.Plan(in)
+		s, err := p.Plan(context.Background(), in)
 		if err != nil {
 			log.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -79,7 +80,7 @@ func main() {
 	fmt.Println("\n90-day simulation on the lattice:")
 	fmt.Println("algorithm  avg longest tour (h)  dead/sensor (min)")
 	for _, p := range repro.Planners() {
-		res, err := repro.Simulate(nw, 2, p, repro.SimConfig{
+		res, err := repro.Simulate(context.Background(), nw, 2, p, repro.SimConfig{
 			Duration:    90 * 86400,
 			BatchWindow: repro.DefaultBatchWindow,
 			Verify:      true,

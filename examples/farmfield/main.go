@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	const season = 180 * 86400
 	fmt.Println("chargers  avg longest tour (h)  max tour (h)  dead/sensor (min)  sensors died")
 	for k := 1; k <= 4; k++ {
-		res, err := repro.Simulate(nw, k, appro, repro.SimConfig{
+		res, err := repro.Simulate(context.Background(), nw, k, appro, repro.SimConfig{
 			Duration:    season,
 			BatchWindow: 6 * 3600, // eager dispatch: relay-heavy hubs have little slack
 			Verify:      true,

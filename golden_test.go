@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestGoldenObjectives(t *testing.T) {
 	}
 
 	for _, p := range repro.Planners() {
-		s, err := p.Plan(in)
+		s, err := p.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}

@@ -19,6 +19,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -59,9 +60,12 @@ func (KEDF) Name() string { return "K-EDF" }
 // assignment of its sensors to the K chargers minimizes the total travel
 // distance from the chargers' current locations (an exact Hungarian
 // assignment, O(K^3) per group).
-func (KEDF) Plan(in *core.Instance) (*core.Schedule, error) {
+func (KEDF) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: K-EDF: %w", err)
 	}
 	order := make([]int, len(in.Requests))
 	for i := range order {
@@ -77,6 +81,11 @@ func (KEDF) Plan(in *core.Instance) (*core.Schedule, error) {
 		pos[k] = in.Depot
 	}
 	for start := 0; start < len(order); start += in.K {
+		if (start/in.K)%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("baselines: K-EDF: %w", err)
+			}
+		}
 		end := start + in.K
 		if end > len(order) {
 			end = len(order)
@@ -146,7 +155,7 @@ func (NETWRAP) Name() string { return "NETWRAP" }
 
 // Plan implements core.Planner with an event-driven greedy simulation of
 // the K chargers.
-func (p NETWRAP) Plan(in *core.Instance) (*core.Schedule, error) {
+func (p NETWRAP) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,7 +176,12 @@ func (p NETWRAP) Plan(in *core.Instance) (*core.Schedule, error) {
 	for u := range in.Requests {
 		remaining[u] = true
 	}
-	for len(remaining) > 0 {
+	for iter := 0; len(remaining) > 0; iter++ {
+		if iter%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("baselines: NETWRAP: %w", err)
+			}
+		}
 		// Earliest-free charger; ties by index.
 		k := 0
 		for j := 1; j < in.K; j++ {
@@ -210,7 +224,7 @@ type AA struct {
 func (AA) Name() string { return "AA" }
 
 // Plan implements core.Planner.
-func (p AA) Plan(in *core.Instance) (*core.Schedule, error) {
+func (p AA) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,6 +240,9 @@ func (p AA) Plan(in *core.Instance) (*core.Schedule, error) {
 	for k, group := range res.Groups() {
 		if len(group) == 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baselines: AA: %w", err)
 		}
 		ordered := tourOrder(in, group)
 		for _, u := range ordered {
@@ -265,7 +282,7 @@ func (KMinMax) Name() string { return "K-minMax" }
 
 // Plan implements core.Planner by delegating to the ktour solver with
 // per-sensor service times t_v.
-func (KMinMax) Plan(in *core.Instance) (*core.Schedule, error) {
+func (KMinMax) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -273,7 +290,7 @@ func (KMinMax) Plan(in *core.Instance) (*core.Schedule, error) {
 	for i, r := range in.Requests {
 		service[i] = r.Duration
 	}
-	sol, err := ktour.MinMax(ktour.Input{
+	sol, err := ktour.MinMax(ctx, ktour.Input{
 		Depot:   in.Depot,
 		Nodes:   in.Positions(),
 		Service: service,

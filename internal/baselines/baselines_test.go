@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -75,7 +76,7 @@ func TestAllBaselinesStructurallySound(t *testing.T) {
 		k := 1 + rng.Intn(5)
 		in := randInstance(rng, n, k)
 		for _, p := range All() {
-			s, err := p.Plan(in)
+			s, err := p.Plan(context.Background(), in)
 			if err != nil {
 				t.Fatalf("%s: %v", p.Name(), err)
 			}
@@ -87,7 +88,7 @@ func TestAllBaselinesStructurallySound(t *testing.T) {
 func TestBaselinesEmptyInstance(t *testing.T) {
 	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 2}
 	for _, p := range All() {
-		s, err := p.Plan(in)
+		s, err := p.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -100,7 +101,7 @@ func TestBaselinesEmptyInstance(t *testing.T) {
 func TestBaselinesRejectInvalid(t *testing.T) {
 	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 0, K: 2}
 	for _, p := range All() {
-		if _, err := p.Plan(in); err == nil {
+		if _, err := p.Plan(context.Background(), in); err == nil {
 			t.Errorf("%s: invalid instance accepted", p.Name())
 		}
 	}
@@ -118,7 +119,7 @@ func TestKEDFOrdersByDeadline(t *testing.T) {
 		},
 		Gamma: 2.7, Speed: 1, K: 1,
 	}
-	s, err := KEDF{}.Plan(in)
+	s, err := KEDF{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestKEDFAssignmentMinimizesTravel(t *testing.T) {
 		},
 		Gamma: 2.7, Speed: 1, K: 2,
 	}
-	s, err := KEDF{}.Plan(in)
+	s, err := KEDF{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestKEDFLargeK(t *testing.T) {
 	// than the request set must still produce a valid partition.
 	in := randInstance(rand.New(rand.NewSource(1)), 30, 2)
 	in.K = 12
-	s, err := KEDF{}.Plan(in)
+	s, err := KEDF{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,14 +189,14 @@ func TestNETWRAPPrefersCloseAndUrgent(t *testing.T) {
 		},
 		Gamma: 2.7, Speed: 1, K: 1,
 	}
-	s, err := NETWRAP{WTravel: 0.001, WLife: 1}.Plan(in)
+	s, err := NETWRAP{WTravel: 0.001, WLife: 1}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Tours[0].Stops[0].Node != 1 {
 		t.Error("lifetime-weighted NETWRAP should pick the urgent sensor first")
 	}
-	s, err = NETWRAP{WTravel: 1, WLife: 0.001}.Plan(in)
+	s, err = NETWRAP{WTravel: 1, WLife: 0.001}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestAAGroupsAreSpatial(t *testing.T) {
 			Duration: 100,
 		})
 	}
-	s, err := AA{Seed: 1}.Plan(in)
+	s, err := AA{Seed: 1}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestKMinMaxBeatsAAOnUnbalancedClusters(t *testing.T) {
 			Duration: 3600,
 		})
 	}
-	aa, err := AA{}.Plan(in)
+	aa, err := AA{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	km, err := KMinMax{}.Plan(in)
+	km, err := KMinMax{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestApproPlannerSatisfiesInterface(t *testing.T) {
 		t.Errorf("Name = %q", p.Name())
 	}
 	in := randInstance(rand.New(rand.NewSource(2)), 40, 2)
-	s, err := p.Plan(in)
+	s, err := p.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package capacitated
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,7 +91,7 @@ func stopEnergy(in *core.Instance, st core.Stop, eta float64, p Params) float64 
 // rate the instance's durations were computed with). It fails if any
 // single stop alone exceeds the charger capacity — no trip structure can
 // fix that; the caller must raise CapacityJ or lower eta.
-func Split(in *core.Instance, s *core.Schedule, eta float64, p Params) (*Plan, error) {
+func Split(ctx context.Context, in *core.Instance, s *core.Schedule, eta float64, p Params) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,6 +103,9 @@ func Split(in *core.Instance, s *core.Schedule, eta float64, p Params) (*Plan, e
 	}
 	plan := &Plan{Chargers: make([][]Trip, len(s.Tours))}
 	for k, tour := range s.Tours {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("capacitated: %w", err)
+		}
 		trips, err := splitTour(in, tour, eta, p)
 		if err != nil {
 			return nil, fmt.Errorf("capacitated: charger %d: %w", k, err)

@@ -1,6 +1,7 @@
 package capacitated
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func planned(t *testing.T, rng *rand.Rand, n, k int) (*core.Instance, *core.Sche
 			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 		})
 	}
-	s, err := core.ApproPlanner{}.Plan(in)
+	s, err := core.ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestParamsValidate(t *testing.T) {
 func TestSplitPreservesStops(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	in, s := planned(t, rng, 150, 2)
-	plan, err := Split(in, s, 2, params())
+	plan, err := Split(context.Background(), in, s, 2, params())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestSplitRespectsCapacity(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	in, s := planned(t, rng, 200, 2)
 	p := params()
-	plan, err := Split(in, s, 2, p)
+	plan, err := Split(context.Background(), in, s, 2, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSplitTimeLayout(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	in, s := planned(t, rng, 120, 2)
 	p := params()
-	plan, err := Split(in, s, 2, p)
+	plan, err := Split(context.Background(), in, s, 2, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestSplitInfiniteCapacityIsNoop(t *testing.T) {
 	in, s := planned(t, rng, 100, 2)
 	p := params()
 	p.CapacityJ = 1e12
-	plan, err := Split(in, s, 2, p)
+	plan, err := Split(context.Background(), in, s, 2, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +175,11 @@ func TestSplitRejectsImpossibleStop(t *testing.T) {
 		Requests: []core.Request{{Pos: geom.Pt(10, 0), Duration: 1e6}}, // 2 GJ at eta=2
 		Gamma:    2.7, Speed: 1, K: 1,
 	}
-	s, err := core.ApproPlanner{}.Plan(in)
+	s, err := core.ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Split(in, s, 2, params()); err == nil {
+	if _, err := Split(context.Background(), in, s, 2, params()); err == nil {
 		t.Error("oversized single stop should be rejected")
 	}
 }
@@ -186,17 +187,17 @@ func TestSplitRejectsImpossibleStop(t *testing.T) {
 func TestSplitValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	in, s := planned(t, rng, 10, 1)
-	if _, err := Split(in, s, 0, params()); err == nil {
+	if _, err := Split(context.Background(), in, s, 0, params()); err == nil {
 		t.Error("eta=0 accepted")
 	}
 	bad := params()
 	bad.CapacityJ = -1
-	if _, err := Split(in, s, 2, bad); err == nil {
+	if _, err := Split(context.Background(), in, s, 2, bad); err == nil {
 		t.Error("bad params accepted")
 	}
 	badIn := *in
 	badIn.Speed = 0
-	if _, err := Split(&badIn, s, 2, params()); err == nil {
+	if _, err := Split(context.Background(), &badIn, s, 2, params()); err == nil {
 		t.Error("bad instance accepted")
 	}
 }
@@ -204,7 +205,7 @@ func TestSplitValidation(t *testing.T) {
 func TestSplitEmptySchedule(t *testing.T) {
 	in := &core.Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 2}
 	s := &core.Schedule{Tours: make([]core.Tour, 2)}
-	plan, err := Split(in, s, 2, params())
+	plan, err := Split(context.Background(), in, s, 2, params())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func oneToOneDelay(t *testing.T, in *Instance) float64 {
 	for i, r := range in.Requests {
 		service[i] = r.Duration
 	}
-	sol, err := ktour.MinMax(ktour.Input{
+	sol, err := ktour.MinMax(context.Background(), ktour.Input{
 		Depot:   in.Depot,
 		Nodes:   in.Positions(),
 		Service: service,
@@ -44,7 +45,7 @@ func TestMultiNodeAdvantageGrowsWithDensity(t *testing.T) {
 				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 			})
 		}
-		s, err := ApproPlanner{}.Plan(in)
+		s, err := ApproPlanner{}.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func TestApproNeverWorseThanOneToOneWhenDense(t *testing.T) {
 				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 			})
 		}
-		s, err := ApproPlanner{}.Plan(in)
+		s, err := ApproPlanner{}.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestApproNeverWorseThanOneToOneWhenDense(t *testing.T) {
 func TestScheduleJSONRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	in := paperInstance(rng, 60, 2)
-	s, err := ApproPlanner{}.Plan(in)
+	s, err := ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestApproHugeGammaSingleStop(t *testing.T) {
 			Duration: 1000,
 		})
 	}
-	s, err := ApproPlanner{}.Plan(in)
+	s, err := ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestApproTwoIslands(t *testing.T) {
 			Duration: 3600,
 		})
 	}
-	s, err := ApproPlanner{}.Plan(in)
+	s, err := ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Analysis reports the quantities the paper's approximation-ratio proof
@@ -37,10 +40,15 @@ const LemmaTwoBound = 26 // ceil(8 * pi)
 
 // Analyze computes the approximation-ratio ingredients for the instance
 // under the given options (the same MIS strategy Appro itself would use).
-// It is read-only: no schedule is produced.
-func Analyze(in *Instance, opts Options) (*Analysis, error) {
+// It is read-only: no schedule is produced. Analyze honors ctx between
+// its graph stages and records charging-graph/mis spans when ctx carries
+// an obs.Tracer.
+func Analyze(ctx context.Context, in *Instance, opts Options) (*Analysis, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
 	if opts.MISOrder == 0 {
 		opts.MISOrder = graph.MISMaxDegree
@@ -51,12 +59,24 @@ func Analyze(in *Instance, opts Options) (*Analysis, error) {
 		out.Ratio = 1
 		return out, nil
 	}
+	tr := obs.FromContext(ctx)
 	pts := in.Positions()
 	rng := rand.New(rand.NewSource(opts.Seed))
+	sp := tr.Start(obs.StageChargingGraph)
 	gc := graph.UnitDisk(pts, in.Gamma)
+	sp.End()
+	sp = tr.Start(obs.StageMIS)
 	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	sp = tr.Start(obs.StageChargingGraph)
 	h := graph.IntersectionGraph(pts, si, in.Gamma)
+	sp.End()
+	sp = tr.Start(obs.StageMIS)
 	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+	sp.End()
 	out.SI = len(si)
 	out.VH = len(vh)
 	out.DeltaH = h.MaxDegree()

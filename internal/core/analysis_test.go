@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestAnalyzeEmpty(t *testing.T) {
 	in := &Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 1, K: 1}
-	a, err := Analyze(in, Options{})
+	a, err := Analyze(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestAnalyzeEmpty(t *testing.T) {
 
 func TestAnalyzeRejectsInvalid(t *testing.T) {
 	in := &Instance{Depot: geom.Pt(0, 0), Gamma: 2.7, Speed: 0, K: 1}
-	if _, err := Analyze(in, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), in, Options{}); err == nil {
 		t.Error("invalid instance accepted")
 	}
 }
@@ -44,7 +45,7 @@ func TestLemmaTwoDegreeBound(t *testing.T) {
 				Duration: 3600,
 			})
 		}
-		a, err := Analyze(in, Options{MISOrder: orders[trial%len(orders)]})
+		a, err := Analyze(context.Background(), in, Options{MISOrder: orders[trial%len(orders)]})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func TestAnalyzeRatioFormula(t *testing.T) {
 			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 		})
 	}
-	a, err := Analyze(in, Options{})
+	a, err := Analyze(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestAnalyzeZeroDurations(t *testing.T) {
 		},
 		Gamma: 2.7, Speed: 1, K: 1,
 	}
-	a, err := Analyze(in, Options{})
+	a, err := Analyze(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestAnalyzeZeroDurations(t *testing.T) {
 	}
 	// Mixed zero and positive durations degenerate the tau ratio.
 	in.Requests[0].Duration = 100
-	a, err = Analyze(in, Options{})
+	a, err = Analyze(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

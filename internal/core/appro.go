@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/ktour"
+	"repro/internal/obs"
 )
 
 // Options tunes Algorithm Appro. The zero value gives the paper's behavior
@@ -44,9 +46,18 @@ type Options struct {
 // time shifts, by making a charger wait).
 //
 // The algorithm runs in O(|V_s|^2) time plus the K-minMax subroutine.
-func Appro(in *Instance, opts Options) (*Schedule, error) {
+//
+// Appro honors ctx: it checks for cancellation between stages and
+// periodically inside the insertion loop, returning an error wrapping
+// ctx.Err() when the context is cancelled or its deadline passes. When
+// ctx carries an obs.Tracer, the stages charging-graph, mis, kminmax and
+// insertion are recorded on it.
+func Appro(ctx context.Context, in *Instance, opts Options) (*Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: appro: %w", err)
 	}
 	if opts.MISOrder == 0 {
 		opts.MISOrder = graph.MISMaxDegree
@@ -56,19 +67,34 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 	if n == 0 {
 		return sched, nil
 	}
+	tr := obs.FromContext(ctx)
+	tr.Add("appro.plans", 1)
+	tr.Add("appro.requests", int64(n))
 	pts := in.Positions()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Step 1-2: charging graph G_c and its MIS S_I (candidate sojourns).
+	sp := tr.Start(obs.StageChargingGraph)
 	gc := graph.UnitDisk(pts, in.Gamma)
+	sp.End()
+	sp = tr.Start(obs.StageMIS)
 	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+	sp.End()
 
 	// Step 3-4: auxiliary graph H over S_I and its MIS V'_H.
+	sp = tr.Start(obs.StageChargingGraph)
 	h := graph.IntersectionGraph(pts, si, in.Gamma)
+	sp.End()
+	sp = tr.Start(obs.StageMIS)
 	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: appro: %w", err)
+	}
 
 	// Coverage sets N_c+(v) for each candidate sojourn, over request
 	// indices.
+	sp = tr.Start(obs.StageChargingGraph)
 	grid := geom.NewGrid(pts, maxCell(in.Gamma))
 	cover := make([][]int, len(si))
 	var buf []int
@@ -79,6 +105,7 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 		sort.Ints(cs)
 		cover[i] = cs
 	}
+	sp.End()
 
 	// tau(v) upper bounds for the initial V'_H stops (Eq. (2)). Because
 	// V'_H is independent in H, no two initial stops share a sensor, so
@@ -96,7 +123,7 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 
 	// Step 5: K node-disjoint closed tours over V'_H via the K-minMax
 	// closed tour approximation.
-	kt, err := ktour.MinMax(ktour.Input{
+	kt, err := ktour.MinMax(ctx, ktour.Input{
 		Depot:   in.Depot,
 		Nodes:   vhPts,
 		Service: service,
@@ -146,11 +173,21 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 		}
 	}
 
+	// siIndexByNode inverts si (request index -> position in si) so stop
+	// re-indexing after an insert is O(1) per shifted stop instead of a
+	// binary search per stop of the whole tour.
+	siIndexByNode := make([]int, n)
+	for i := range siIndexByNode {
+		siIndexByNode[i] = -1
+	}
+	for i, node := range si {
+		siIndexByNode[node] = i
+	}
 	// finishOf returns f(v) for a placed candidate (index into si).
 	stopPos := make(map[int][2]int, len(si)) // si index -> (tour, position)
 	for k := range sched.Tours {
 		for p, st := range sched.Tours[k].Stops {
-			stopPos[siIndexOf(si, st.Node)] = [2]int{k, p}
+			stopPos[siIndexByNode[st.Node]] = [2]int{k, p}
 		}
 	}
 	finishOf := func(hIdx int) float64 {
@@ -172,7 +209,17 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 		return fn, best, best >= 0
 	}
 
-	for len(pending) > 0 {
+	sp = tr.Start(obs.StageInsertion)
+	defer sp.End()
+	for iter := 0; len(pending) > 0; iter++ {
+		// The insertion loop dominates dense instances; poll for
+		// cancellation every few iterations so a deadline aborts the
+		// plan promptly without a per-iteration atomic load.
+		if iter%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: appro: insertion: %w", err)
+			}
+		}
 		// Pick the pending candidate with the smallest f_N(u)
 		// (Algorithm 1, line 9). Candidates without placed neighbors are
 		// deferred; the paper proves at least one candidate always has
@@ -233,9 +280,12 @@ func Appro(in *Instance, opts Options) (*Schedule, error) {
 		insertStop(&sched.Tours[k], pos, stop)
 		recomputeTourTimes(in, &sched.Tours[k])
 		inTour[hIdx] = k
-		// Re-index stop positions for the modified tour.
-		for p, st := range sched.Tours[k].Stops {
-			stopPos[siIndexOf(si, st.Node)] = [2]int{k, p}
+		// Re-index incrementally: only the new stop and the stops it
+		// shifted (positions > pos in this tour) moved.
+		stopPos[hIdx] = [2]int{k, pos}
+		stops := sched.Tours[k].Stops
+		for p := pos + 1; p < len(stops); p++ {
+			stopPos[siIndexByNode[stops[p].Node]] = [2]int{k, p}
 		}
 	}
 
@@ -279,19 +329,4 @@ func shortestTour(s *Schedule) int {
 		}
 	}
 	return best
-}
-
-// siIndexOf maps a request index back to its position in the sorted S_I
-// slice; si is ascending so binary search applies.
-func siIndexOf(si []int, node int) int {
-	lo, hi := 0, len(si)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if si[mid] < node {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }

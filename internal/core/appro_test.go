@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func TestApproValidation(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			in := paperInstance(rng, 5, 2)
 			tt.mutate(in)
-			if _, err := Appro(in, Options{}); err == nil {
+			if _, err := Appro(context.Background(), in, Options{}); err == nil {
 				t.Error("expected error")
 			}
 		})
@@ -54,7 +55,7 @@ func TestApproValidation(t *testing.T) {
 
 func TestApproEmpty(t *testing.T) {
 	in := &Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 3}
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestApproSingleRequest(t *testing.T) {
 		Speed:    1,
 		K:        2,
 	}
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestApproPlannedScheduleFeasibleOnRandomInstances(t *testing.T) {
 		n := 10 + rng.Intn(150)
 		k := 1 + rng.Intn(4)
 		in := paperInstance(rng, n, k)
-		s, err := Appro(in, Options{Seed: int64(trial)})
+		s, err := Appro(context.Background(), in, Options{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		exec := Execute(in, s)
+		exec := Execute(context.Background(), in, s)
 		if vs := Verify(in, exec); len(vs) != 0 {
 			t.Fatalf("trial %d (n=%d k=%d): executed schedule infeasible: %v", trial, n, k, vs[0])
 		}
@@ -118,11 +119,11 @@ func TestApproCoversDenseCluster(t *testing.T) {
 			Duration: 3600,
 		})
 	}
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vs := Verify(in, Execute(in, s)); len(vs) != 0 {
+	if vs := Verify(in, Execute(context.Background(), in, s)); len(vs) != 0 {
 		t.Fatalf("violations: %v", vs)
 	}
 	if got := s.NumStops(); got > 6 {
@@ -136,11 +137,11 @@ func TestApproMISOrders(t *testing.T) {
 	for _, ord := range []graph.MISOrder{
 		graph.MISLexicographic, graph.MISMinDegree, graph.MISMaxDegree, graph.MISRandom,
 	} {
-		s, err := Appro(in, Options{MISOrder: ord, Seed: 5})
+		s, err := Appro(context.Background(), in, Options{MISOrder: ord, Seed: 5})
 		if err != nil {
 			t.Fatalf("%v: %v", ord, err)
 		}
-		if vs := Verify(in, Execute(in, s)); len(vs) != 0 {
+		if vs := Verify(in, Execute(context.Background(), in, s)); len(vs) != 0 {
 			t.Fatalf("%v: violations: %v", ord, vs[0])
 		}
 	}
@@ -149,11 +150,11 @@ func TestApproMISOrders(t *testing.T) {
 func TestApproDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	in := paperInstance(rng, 80, 3)
-	a, err := Appro(in, Options{Seed: 4})
+	a, err := Appro(context.Background(), in, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Appro(in, Options{Seed: 4})
+	b, err := Appro(context.Background(), in, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,13 +168,13 @@ func TestApproMoreChargersHelps(t *testing.T) {
 	in := paperInstance(rng, 150, 1)
 	in1 := *in
 	in1.K = 1
-	s1, err := Appro(&in1, Options{})
+	s1, err := Appro(context.Background(), &in1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	in4 := *in
 	in4.K = 4
-	s4, err := Appro(&in4, Options{})
+	s4, err := Appro(context.Background(), &in4, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,14 +189,14 @@ func TestApproZeroGamma(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	in := paperInstance(rng, 25, 2)
 	in.Gamma = 0
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := s.NumStops(); got != 25 {
 		t.Errorf("gamma=0: stops = %d, want 25", got)
 	}
-	if vs := Verify(in, Execute(in, s)); len(vs) != 0 {
+	if vs := Verify(in, Execute(context.Background(), in, s)); len(vs) != 0 {
 		t.Fatalf("violations: %v", vs)
 	}
 }
@@ -205,7 +206,7 @@ func TestApproAllCoincident(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		in.Requests = append(in.Requests, Request{Pos: geom.Pt(10, 0), Duration: 60})
 	}
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestApproStopsAreFewerThanOneToOne(t *testing.T) {
 	// sensors — the quantitative heart of the paper's 65% improvement.
 	rng := rand.New(rand.NewSource(55))
 	in := paperInstance(rng, 600, 2)
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func BenchmarkAppro(b *testing.B) {
 		in := paperInstance(rng, n, 2)
 		b.Run(fmtInt(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Appro(in, Options{}); err != nil {
+				if _, err := Appro(context.Background(), in, Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Execute simulates the K chargers driving the planned schedule and
@@ -19,7 +21,12 @@ import (
 // because their charging is directional (Covers are singletons and the
 // conflict test is skipped when gamma is zero in the instance they plan
 // against).
-func Execute(in *Instance, planned *Schedule) *Schedule {
+//
+// Execute runs to completion regardless of ctx's cancellation state — a
+// half-executed schedule would be unusable — but records its runtime
+// under the execute span when ctx carries an obs.Tracer.
+func Execute(ctx context.Context, in *Instance, planned *Schedule) *Schedule {
+	defer obs.FromContext(ctx).Start(obs.StageExecute).End()
 	out := &Schedule{Tours: make([]Tour, len(planned.Tours))}
 	type cursor struct {
 		tour    int

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,11 +45,11 @@ func FuzzApproPipeline(f *testing.F) {
 				Duration: rng.Float64() * 7200,
 			})
 		}
-		planned, err := Appro(in, Options{Seed: seed})
+		planned, err := Appro(context.Background(), in, Options{Seed: seed})
 		if err != nil {
 			t.Fatalf("Appro failed on valid instance: %v", err)
 		}
-		exec := Execute(in, planned)
+		exec := Execute(context.Background(), in, planned)
 		if vs := Verify(in, exec); len(vs) != 0 {
 			t.Fatalf("executed schedule infeasible (n=%d k=%d gamma=%v side=%v): %v",
 				n, k, gamma, side, vs[0])

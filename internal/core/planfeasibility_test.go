@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -20,14 +21,14 @@ func TestPlannedScheduleOverlapRate(t *testing.T) {
 		n := 100 + rng.Intn(500)
 		k := 2 + rng.Intn(3)
 		in := paperInstance(rng, n, k)
-		planned, err := Appro(in, Options{Seed: int64(trial)})
+		planned, err := Appro(context.Background(), in, Options{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if hasOverlap(Verify(in, planned)) {
 			planViolations++
 		}
-		if vs := Verify(in, Execute(in, planned)); hasOverlap(vs) {
+		if vs := Verify(in, Execute(context.Background(), in, planned)); hasOverlap(vs) {
 			t.Fatalf("trial %d: executor failed to repair an overlap", trial)
 		}
 	}

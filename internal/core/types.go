@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -141,7 +142,13 @@ type Planner interface {
 	Name() string
 	// Plan produces a schedule for the instance. Implementations must
 	// cover every request and return node-disjoint tours.
-	Plan(in *Instance) (*Schedule, error)
+	//
+	// Plan honors ctx: when the context is cancelled or its deadline
+	// passes, implementations return promptly with an error wrapping
+	// ctx.Err() (check with errors.Is against context.Canceled or
+	// context.DeadlineExceeded). When ctx carries an obs.Tracer,
+	// implementations record their stage spans on it.
+	Plan(ctx context.Context, in *Instance) (*Schedule, error)
 }
 
 // ApproPlanner adapts Appro to the Planner interface.
@@ -155,12 +162,12 @@ func (p ApproPlanner) Name() string { return "Appro" }
 
 // Plan implements Planner by running Algorithm Appro and then executing the
 // plan so the returned schedule is conflict-free.
-func (p ApproPlanner) Plan(in *Instance) (*Schedule, error) {
-	s, err := Appro(in, p.Opts)
+func (p ApproPlanner) Plan(ctx context.Context, in *Instance) (*Schedule, error) {
+	s, err := Appro(ctx, in, p.Opts)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(in, s), nil
+	return Execute(ctx, in, s), nil
 }
 
 // FinalizeTour rewrites the Arrive times of every stop in the tour from the

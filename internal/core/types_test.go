@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -120,7 +121,7 @@ func TestApproCoverageAttributionIsPartition(t *testing.T) {
 				Duration: rng.Float64() * 5400,
 			})
 		}
-		s, err := Appro(in, Options{Seed: seed})
+		s, err := Appro(context.Background(), in, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -163,11 +164,11 @@ func TestApproInsertsAfterLatestFinishNeighbor(t *testing.T) {
 	for _, x := range []float64{0, 2, 4, 20, 22, 24, 11.5} {
 		in.Requests = append(in.Requests, Request{Pos: geom.Pt(x, 0), Duration: 100})
 	}
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vs := Verify(in, Execute(in, s)); len(vs) != 0 {
+	if vs := Verify(in, Execute(context.Background(), in, s)); len(vs) != 0 {
 		t.Fatalf("violations: %v", vs)
 	}
 	for _, tour := range s.Tours {
@@ -175,15 +176,6 @@ func TestApproInsertsAfterLatestFinishNeighbor(t *testing.T) {
 			if tour.Stops[i].Arrive <= tour.Stops[i-1].Finish() {
 				t.Fatal("arrival times not monotone along tour")
 			}
-		}
-	}
-}
-
-func TestSiIndexOf(t *testing.T) {
-	si := []int{2, 5, 9, 14}
-	for want, node := range map[int]int{0: 2, 1: 5, 2: 9, 3: 14} {
-		if got := siIndexOf(si, node); got != want {
-			t.Errorf("siIndexOf(%d) = %d, want %d", node, got, want)
 		}
 	}
 }

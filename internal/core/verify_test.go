@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -138,7 +139,7 @@ func TestExecuteResolvesConflicts(t *testing.T) {
 	}
 	recomputeTourTimes(in, &planned.Tours[0])
 	recomputeTourTimes(in, &planned.Tours[1])
-	exec := Execute(in, planned)
+	exec := Execute(context.Background(), in, planned)
 	if vs := Verify(in, exec); len(vs) != 0 {
 		t.Fatalf("executed schedule infeasible: %v", vs)
 	}
@@ -150,7 +151,7 @@ func TestExecuteResolvesConflicts(t *testing.T) {
 func TestExecuteNoConflictNoWait(t *testing.T) {
 	in := handInstance()
 	planned := handSchedule()
-	exec := Execute(in, planned)
+	exec := Execute(context.Background(), in, planned)
 	if exec.WaitTime != 0 {
 		t.Errorf("WaitTime = %v, want 0", exec.WaitTime)
 	}
@@ -162,11 +163,11 @@ func TestExecuteNoConflictNoWait(t *testing.T) {
 func TestExecutePreservesTourOrderAndCoverage(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	in := paperInstance(rng, 100, 3)
-	s, err := Appro(in, Options{})
+	s, err := Appro(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec := Execute(in, s)
+	exec := Execute(context.Background(), in, s)
 	for k := range s.Tours {
 		if len(exec.Tours[k].Stops) != len(s.Tours[k].Stops) {
 			t.Fatalf("tour %d: stop count changed", k)

@@ -1,0 +1,61 @@
+package exact
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestMinMaxDeadlineFallsBack checks the best-effort contract: with an
+// already-expired deadline the solver must not fail — it returns the
+// heuristic solution flagged Exact=false, and the result is still a valid
+// partition of the nodes whose value is no better than the true optimum.
+func TestMinMaxDeadlineFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 5; trial++ {
+		in := randInput(rng, 2+rng.Intn(6), 1+rng.Intn(3))
+
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		res, err := MinMax(ctx, in)
+		cancel()
+		if err != nil {
+			t.Fatalf("trial %d: fallback errored: %v", trial, err)
+		}
+		if res.Exact {
+			t.Fatalf("trial %d: expired deadline still reported Exact=true", trial)
+		}
+		var all []int
+		for _, tour := range res.Tours {
+			all = append(all, tour...)
+		}
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("trial %d: fallback tours not a partition: %v", trial, res.Tours)
+			}
+		}
+
+		opt, err := MinMax(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Exact {
+			t.Fatalf("trial %d: uncancelled solve reported Exact=false", trial)
+		}
+		if res.Value < opt.Value-1e-9 {
+			t.Fatalf("trial %d: heuristic fallback %v beat optimum %v", trial, res.Value, opt.Value)
+		}
+	}
+}
+
+// TestMinMaxPreCancelledStillValidates ensures validation errors win over
+// the fallback: garbage input fails even under a cancelled context.
+func TestMinMaxPreCancelledStillValidates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinMax(ctx, randInput(rand.New(rand.NewSource(1)), 3, 0)); err == nil {
+		t.Error("K=0 accepted under cancelled context")
+	}
+}

@@ -4,9 +4,16 @@
 // O(3^n) over at most ~16 nodes — and exists purely as a test oracle for
 // the approximation algorithms: ktour.MinMax and, through lower bounds,
 // Algorithm Appro.
+//
+// The solver is deadline-aware: MinMax polls its context inside the DP
+// loops, and when the context is cancelled (or its deadline passes) it
+// abandons the exponential search and falls back to the polynomial
+// ktour.MinMax heuristic, returning a best-effort solution flagged
+// Exact=false instead of running unboundedly or failing.
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -18,27 +25,47 @@ import (
 // MaxNodes bounds the instance size the solver accepts.
 const MaxNodes = 16
 
+// Result is the solver's outcome.
+type Result struct {
+	// Value is the longest-delay objective of the returned tours: the
+	// proven optimum when Exact, the heuristic's value otherwise.
+	Value float64
+	// Tours holds at most K closed tours as node index slices in visit
+	// order (depot implicit), aligned with the input semantics of
+	// ktour.MinMax.
+	Tours [][]int
+	// Exact reports whether the exponential search ran to completion.
+	// False means the context expired mid-search and the result is the
+	// ktour.MinMax 5-approximation instead.
+	Exact bool
+}
+
 // MinMax computes the optimal longest-delay value and an optimal set of at
-// most K closed tours for the given instance. Tours are returned as node
-// index slices in visit order (depot implicit), aligned with the input
-// semantics of ktour.MinMax.
-func MinMax(in ktour.Input) (float64, [][]int, error) {
+// most K closed tours for the given instance. When ctx is cancelled or
+// times out before the search completes, it returns the ktour.MinMax
+// heuristic solution with Exact=false rather than an error — the solver
+// degrades to a 5-approximation at its deadline instead of running
+// unboundedly.
+func MinMax(ctx context.Context, in ktour.Input) (*Result, error) {
 	n := len(in.Nodes)
 	if n > MaxNodes {
-		return 0, nil, fmt.Errorf("exact: %d nodes exceeds limit %d", n, MaxNodes)
+		return nil, fmt.Errorf("exact: %d nodes exceeds limit %d", n, MaxNodes)
 	}
 	if in.K < 1 {
-		return 0, nil, fmt.Errorf("exact: K = %d, want >= 1", in.K)
+		return nil, fmt.Errorf("exact: K = %d, want >= 1", in.K)
 	}
 	if in.Speed <= 0 {
-		return 0, nil, fmt.Errorf("exact: speed = %v, want > 0", in.Speed)
+		return nil, fmt.Errorf("exact: speed = %v, want > 0", in.Speed)
 	}
 	if n == 0 {
 		tours := make([][]int, in.K)
 		for i := range tours {
 			tours[i] = []int{}
 		}
-		return 0, tours, nil
+		return &Result{Value: 0, Tours: tours, Exact: true}, nil
+	}
+	if ctx.Err() != nil {
+		return fallback(ctx, in)
 	}
 
 	// Pairwise travel times; index n is the depot.
@@ -80,6 +107,11 @@ func MinMax(in ktour.Input) (float64, [][]int, error) {
 		dp[1<<j][j] = travel[n][j]
 	}
 	for S := 1; S < full; S++ {
+		// The subset loops are the exponential part; poll the deadline
+		// every 256 masks so expiry is noticed within microseconds.
+		if S%256 == 0 && ctx.Err() != nil {
+			return fallback(ctx, in)
+		}
 		for j := 0; j < n; j++ {
 			if S&(1<<j) == 0 || math.IsInf(dp[S][j], 1) {
 				continue
@@ -101,6 +133,9 @@ func MinMax(in ktour.Input) (float64, [][]int, error) {
 	tourEnd := make([]int8, full)
 	serviceSum := make([]float64, full)
 	for S := 1; S < full; S++ {
+		if S%256 == 0 && ctx.Err() != nil {
+			return fallback(ctx, in)
+		}
 		lsb := bits.TrailingZeros(uint(S))
 		serviceSum[S] = serviceSum[S&(S-1)] + service(lsb)
 		best, bestJ := math.Inf(1), int8(-1)
@@ -138,6 +173,9 @@ func MinMax(in ktour.Input) (float64, [][]int, error) {
 	}
 	for kk := 2; kk <= k; kk++ {
 		for S := 1; S < full; S++ {
+			if S%256 == 0 && ctx.Err() != nil {
+				return fallback(ctx, in)
+			}
 			// Enumerate non-empty subsets T of S as the last tour.
 			for T := S; T > 0; T = (T - 1) & S {
 				c := tourCost[T]
@@ -166,7 +204,20 @@ func MinMax(in ktour.Input) (float64, [][]int, error) {
 		tours[kk-1] = reconstructPath(dp, parent, tourEnd[T], T)
 		S &^= T
 	}
-	return f[k][full-1], tours, nil
+	return &Result{Value: f[k][full-1], Tours: tours, Exact: true}, nil
+}
+
+// fallback returns the polynomial-time heuristic solution when the exact
+// search's context has expired. The heuristic runs detached from the
+// expired context — at <= MaxNodes nodes it finishes in microseconds, and
+// returning nothing at the deadline would defeat the best-effort
+// contract.
+func fallback(ctx context.Context, in ktour.Input) (*Result, error) {
+	sol, err := ktour.MinMax(context.WithoutCancel(ctx), in)
+	if err != nil {
+		return nil, fmt.Errorf("exact: deadline fallback: %w", err)
+	}
+	return &Result{Value: sol.Longest, Tours: sol.Tours, Exact: false}, nil
 }
 
 // reconstructPath walks the Held-Karp parents back from end over set S.

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -26,24 +27,24 @@ func randInput(rng *rand.Rand, n, k int) ktour.Input {
 }
 
 func TestMinMaxValidation(t *testing.T) {
-	if _, _, err := MinMax(ktour.Input{K: 1, Speed: 1, Nodes: make([]geom.Point, MaxNodes+1)}); err == nil {
+	if _, err := MinMax(context.Background(), ktour.Input{K: 1, Speed: 1, Nodes: make([]geom.Point, MaxNodes+1)}); err == nil {
 		t.Error("oversized instance accepted")
 	}
-	if _, _, err := MinMax(ktour.Input{K: 0, Speed: 1}); err == nil {
+	if _, err := MinMax(context.Background(), ktour.Input{K: 0, Speed: 1}); err == nil {
 		t.Error("K=0 accepted")
 	}
-	if _, _, err := MinMax(ktour.Input{K: 1, Speed: 0}); err == nil {
+	if _, err := MinMax(context.Background(), ktour.Input{K: 1, Speed: 0}); err == nil {
 		t.Error("speed=0 accepted")
 	}
 }
 
 func TestMinMaxEmpty(t *testing.T) {
-	v, tours, err := MinMax(ktour.Input{Depot: geom.Pt(0, 0), K: 3, Speed: 1})
+	res, err := MinMax(context.Background(), ktour.Input{Depot: geom.Pt(0, 0), K: 3, Speed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 0 || len(tours) != 3 {
-		t.Errorf("v=%v tours=%v", v, tours)
+	if res.Value != 0 || len(res.Tours) != 3 || !res.Exact {
+		t.Errorf("res = %+v", res)
 	}
 }
 
@@ -55,19 +56,22 @@ func TestMinMaxSingleNode(t *testing.T) {
 		Speed:   1,
 		K:       2,
 	}
-	v, tours, err := MinMax(in)
+	res, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(v-17) > 1e-9 {
-		t.Errorf("v = %v, want 17", v)
+	if math.Abs(res.Value-17) > 1e-9 {
+		t.Errorf("v = %v, want 17", res.Value)
+	}
+	if !res.Exact {
+		t.Error("uncancelled solve reported Exact=false")
 	}
 	total := 0
-	for _, tour := range tours {
+	for _, tour := range res.Tours {
 		total += len(tour)
 	}
 	if total != 1 {
-		t.Errorf("tours = %v", tours)
+		t.Errorf("tours = %v", res.Tours)
 	}
 }
 
@@ -81,21 +85,21 @@ func TestMinMaxKnownGeometry(t *testing.T) {
 		Speed:   1,
 		K:       2,
 	}
-	v, _, err := MinMax(in)
+	res, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(v-23) > 1e-9 {
-		t.Errorf("v = %v, want 23", v)
+	if math.Abs(res.Value-23) > 1e-9 {
+		t.Errorf("v = %v, want 23", res.Value)
 	}
 	// With K=1 the vehicle must do both: 10 + 20 + 10 travel + 6 service.
 	in.K = 1
-	v1, _, err := MinMax(in)
+	res1, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(v1-46) > 1e-9 {
-		t.Errorf("K=1 v = %v, want 46", v1)
+	if math.Abs(res1.Value-46) > 1e-9 {
+		t.Errorf("K=1 v = %v, want 46", res1.Value)
 	}
 }
 
@@ -107,10 +111,11 @@ func TestMatchesBruteForcePermutations(t *testing.T) {
 		n := 1 + rng.Intn(5)
 		k := 1 + rng.Intn(3)
 		in := randInput(rng, n, k)
-		got, tours, err := MinMax(in)
+		res, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
+		got, tours := res.Value, res.Tours
 		want := bruteForce(in)
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("trial %d (n=%d k=%d): DP %v, brute force %v", trial, n, k, got, want)
@@ -205,11 +210,12 @@ func TestKtourWithinFactorOfOptimal(t *testing.T) {
 		n := 2 + rng.Intn(9) // up to 10 nodes
 		k := 1 + rng.Intn(3)
 		in := randInput(rng, n, k)
-		opt, _, err := MinMax(in)
+		optRes, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		heur, err := ktour.MinMax(in)
+		opt := optRes.Value
+		heur, err := ktour.MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ktour"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -43,7 +45,10 @@ type Options struct {
 	// Verify runs the feasibility verifier inside every simulation
 	// round and records violations.
 	Verify bool
-	// Progress, when non-nil, receives a line per completed cell.
+	// Progress, when non-nil, receives a line per completed cell. The
+	// harness serializes the calls (through an obs.Progress sink), so
+	// the function may be a plain closure over unshared state even
+	// though cells complete on concurrent workers.
 	Progress func(msg string)
 }
 
@@ -194,7 +199,15 @@ func figureClustered() sweepSpec {
 // panels: (a) average longest tour duration in hours and (b) average dead
 // duration per sensor in minutes. id must be "3", "4" or "5" (the paper's
 // figures) or "C" (this reproduction's clustering extension).
-func Run(id string, opt Options) (a, b *Figure, err error) {
+//
+// Run honors ctx: cancellation stops dispatching new cells, interrupts
+// in-flight simulations, and returns the panels aggregated over the cells
+// that did complete, together with an error wrapping ctx.Err() — so a
+// deadline yields partial figures rather than nothing. Progress calls are
+// serialized, and when ctx carries an obs.Tracer the per-cell planner and
+// verifier stages accumulate on it along with an experiments.cells
+// counter.
+func Run(ctx context.Context, id string, opt Options) (a, b *Figure, err error) {
 	var spec sweepSpec
 	switch id {
 	case "3":
@@ -208,12 +221,14 @@ func Run(id string, opt Options) (a, b *Figure, err error) {
 	default:
 		return nil, nil, fmt.Errorf("experiments: unknown figure %q (want 3, 4, 5 or C)", id)
 	}
-	return runSweep(spec, opt)
+	return runSweep(ctx, spec, opt)
 }
 
-func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
+func runSweep(ctx context.Context, spec sweepSpec, opt Options) (a, b *Figure, err error) {
 	opt = opt.withDefaults()
 	ps := planners()
+	tr := obs.FromContext(ctx)
+	progress := obs.NewProgress(opt.Progress)
 
 	var cells []point
 	for xi := range spec.xs {
@@ -224,6 +239,11 @@ func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
 		}
 	}
 	results := make([]cellResult, len(cells))
+	// done[ci] is written by exactly one worker before wg.Done and read
+	// only after wg.Wait, so it needs no lock; it marks the cells whose
+	// results may enter the aggregation (all of them on a clean run, the
+	// completed prefix on a cancelled one).
+	done := make([]bool, len(cells))
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -235,8 +255,11 @@ func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
 		go func() {
 			defer wg.Done()
 			for ci := range work {
+				if ctx.Err() != nil {
+					continue // drain without simulating
+				}
 				c := cells[ci]
-				res, cerr := runCell(spec, opt, ps[c.pi], c)
+				res, cerr := runCell(ctx, spec, opt, ps[c.pi], c)
 				if cerr != nil {
 					mu.Lock()
 					if firstEr == nil {
@@ -246,20 +269,25 @@ func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
 					continue
 				}
 				results[ci] = *res
-				if opt.Progress != nil {
-					opt.Progress(fmt.Sprintf("fig%s %s=%v %s instance %d: longest %.1f h, dead %.1f min",
-						spec.id, spec.xlabel, spec.xs[c.xi], ps[c.pi].Name(), c.inst,
-						res.longestH, res.deadMin))
-				}
+				done[ci] = true
+				tr.Add("experiments.cells", 1)
+				progress.Emit("fig%s %s=%v %s instance %d: longest %.1f h, dead %.1f min",
+					spec.id, spec.xlabel, spec.xs[c.xi], ps[c.pi].Name(), c.inst,
+					res.longestH, res.deadMin)
 			}
 		}()
 	}
+dispatch:
 	for ci := range cells {
-		work <- ci
+		select {
+		case work <- ci:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
-	if firstEr != nil {
+	if firstEr != nil && ctx.Err() == nil {
 		return nil, nil, firstEr
 	}
 
@@ -283,7 +311,10 @@ func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
 		sb := Series{Label: p.Name()}
 		for xi := range spec.xs {
 			var accA, accB stats.Accumulator
-			for _, r := range results {
+			for ci, r := range results {
+				if !done[ci] {
+					continue // skipped by cancellation; keep it out of the means
+				}
 				if r.xi == xi && r.pi == pi {
 					accA.Add(r.longestH)
 					accB.Add(r.deadMin)
@@ -299,10 +330,13 @@ func runSweep(spec sweepSpec, opt Options) (a, b *Figure, err error) {
 		b.Series = append(b.Series, sb)
 	}
 	b.Violations = a.Violations
+	if cerr := ctx.Err(); cerr != nil {
+		return a, b, fmt.Errorf("experiments: fig%s cancelled: %w", spec.id, cerr)
+	}
 	return a, b, nil
 }
 
-func runCell(spec sweepSpec, opt Options, planner core.Planner, c point) (*cellResult, error) {
+func runCell(ctx context.Context, spec sweepSpec, opt Options, planner core.Planner, c point) (*cellResult, error) {
 	params, k := spec.setup(spec.xs[c.xi])
 	// Instance seeds depend only on the sweep point and instance index,
 	// so every algorithm sees the same 100 (or Instances) networks —
@@ -312,7 +346,7 @@ func runCell(spec sweepSpec, opt Options, planner core.Planner, c point) (*cellR
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(nw, k, planner, sim.Config{
+	res, err := sim.Run(ctx, nw, k, planner, sim.Config{
 		Duration:    opt.Duration,
 		BatchWindow: opt.BatchWindow,
 		Verify:      opt.Verify,
@@ -376,13 +410,16 @@ var ablationSizes = []int{300, 600, 1200}
 // the two dispatch protocols; its LongestH column is then the mean
 // longest tour duration and WaitS the mean dead time per sensor in
 // seconds.
-func RunAblation(id string, opt Options) ([]AblationResult, error) {
+//
+// RunAblation honors ctx like Run does: on cancellation it returns the
+// rows accumulated so far together with an error wrapping ctx.Err().
+func RunAblation(ctx context.Context, id string, opt Options) ([]AblationResult, error) {
 	opt = opt.withDefaults()
 	switch id {
 	case AblationDispatch:
-		return runDispatchAblation(opt)
+		return runDispatchAblation(ctx, opt)
 	case AblationPartial:
-		return runPartialAblation(opt)
+		return runPartialAblation(ctx, opt)
 	}
 	type variant struct {
 		name string
@@ -411,14 +448,21 @@ func RunAblation(id string, opt Options) ([]AblationResult, error) {
 		return nil, fmt.Errorf("experiments: unknown ablation %q", id)
 	}
 
+	progress := obs.NewProgress(opt.Progress)
 	var out []AblationResult
 	for _, v := range variants {
 		for _, n := range ablationSizes {
 			var accL, accS, accW stats.Accumulator
 			for inst := 0; inst < opt.Instances; inst++ {
+				if err := ctx.Err(); err != nil {
+					return out, fmt.Errorf("experiments: ablation %s: %w", id, err)
+				}
 				in := denseRound(n, opt.Seed+int64(inst)+1)
-				s, err := core.ApproPlanner{Opts: v.opts}.Plan(in)
+				s, err := core.ApproPlanner{Opts: v.opts}.Plan(ctx, in)
 				if err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return out, fmt.Errorf("experiments: ablation %s: %w", id, cerr)
+					}
 					return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 				}
 				if opt.Verify {
@@ -438,33 +482,38 @@ func RunAblation(id string, opt Options) ([]AblationResult, error) {
 				WaitS:    accW.Mean(),
 			})
 		}
-		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("ablation %s: %s done", id, v.name))
-		}
+		progress.Emit("ablation %s: %s done", id, v.name)
 	}
 	return out, nil
 }
 
 // runDispatchAblation simulates a year under both dispatch protocols with
 // Appro, per network size.
-func runDispatchAblation(opt Options) ([]AblationResult, error) {
+func runDispatchAblation(ctx context.Context, opt Options) ([]AblationResult, error) {
 	modes := []sim.DispatchMode{sim.DispatchSynchronized, sim.DispatchIndependent}
+	progress := obs.NewProgress(opt.Progress)
 	var out []AblationResult
 	for _, mode := range modes {
 		for _, n := range ablationSizes {
 			var accL, accD, accS stats.Accumulator
 			for inst := 0; inst < opt.Instances; inst++ {
+				if err := ctx.Err(); err != nil {
+					return out, fmt.Errorf("experiments: ablation dispatch: %w", err)
+				}
 				nw, err := workload.Generate(workload.NewParams(n), opt.Seed+int64(inst)+1)
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.Run(nw, 2, core.ApproPlanner{}, sim.Config{
+				res, err := sim.Run(ctx, nw, 2, core.ApproPlanner{}, sim.Config{
 					Duration:    opt.Duration,
 					BatchWindow: opt.BatchWindow,
 					Dispatch:    mode,
 					Verify:      opt.Verify,
 				})
 				if err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return out, fmt.Errorf("experiments: ablation dispatch: %w", cerr)
+					}
 					return nil, fmt.Errorf("experiments: dispatch ablation %v n=%d: %w", mode, n, err)
 				}
 				if opt.Verify && res.Violations > 0 {
@@ -488,9 +537,7 @@ func runDispatchAblation(opt Options) ([]AblationResult, error) {
 				WaitS:    accD.Mean(),
 			})
 		}
-		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("ablation dispatch: %v done", mode))
-		}
+		progress.Emit("ablation dispatch: %v done", mode)
 	}
 	return out, nil
 }
@@ -499,23 +546,30 @@ func runDispatchAblation(opt Options) ([]AblationResult, error) {
 // several partial-charging levels. LongestH is the mean longest tour
 // duration, WaitS the mean dead time per sensor in seconds, and N encodes
 // the charging level in percent.
-func runPartialAblation(opt Options) ([]AblationResult, error) {
+func runPartialAblation(ctx context.Context, opt Options) ([]AblationResult, error) {
 	levels := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}
+	progress := obs.NewProgress(opt.Progress)
 	var out []AblationResult
 	for _, level := range levels {
 		var accL, accD, accS stats.Accumulator
 		for inst := 0; inst < opt.Instances; inst++ {
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("experiments: ablation partial: %w", err)
+			}
 			nw, err := workload.Generate(workload.NewParams(1000), opt.Seed+int64(inst)+1)
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(nw, 2, core.ApproPlanner{}, sim.Config{
+			res, err := sim.Run(ctx, nw, 2, core.ApproPlanner{}, sim.Config{
 				Duration:    opt.Duration,
 				BatchWindow: opt.BatchWindow,
 				ChargeLevel: level,
 				Verify:      opt.Verify,
 			})
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return out, fmt.Errorf("experiments: ablation partial: %w", cerr)
+				}
 				return nil, fmt.Errorf("experiments: partial ablation level=%v: %w", level, err)
 			}
 			accL.Add(res.AvgLongest / 3600)
@@ -535,9 +589,7 @@ func runPartialAblation(opt Options) ([]AblationResult, error) {
 			Stops:    accS.Mean(),
 			WaitS:    accD.Mean(),
 		})
-		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("ablation partial: level %.0f%% done", level*100))
-		}
+		progress.Emit("ablation partial: level %.0f%% done", level*100)
 	}
 	return out, nil
 }

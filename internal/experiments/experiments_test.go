@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func fastOpts() Options {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if _, _, err := Run("7", fastOpts()); err == nil {
+	if _, _, err := Run(context.Background(), "7", fastOpts()); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -24,7 +25,7 @@ func TestRunFigure3Small(t *testing.T) {
 	// Shrink the sweep by running figure 5 (K sweep) at 10 days — still
 	// exercises every planner and the aggregation path. Figure 3's full
 	// sweep is covered by the bench harness.
-	a, b, err := Run("5", fastOpts())
+	a, b, err := Run(context.Background(), "5", fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestRunFigure3Small(t *testing.T) {
 func TestRunDeterministicAcrossCalls(t *testing.T) {
 	opt := fastOpts()
 	opt.Duration = 5 * 86400
-	a1, _, err := Run("4", opt)
+	a1, _, err := Run(context.Background(), "4", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, _, err := Run("4", opt)
+	a2, _, err := Run(context.Background(), "4", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPlannersSeeSameNetworks(t *testing.T) {
 
 func TestRunAblations(t *testing.T) {
 	for _, id := range []string{AblationMIS, AblationInsertion, AblationTourBuilder} {
-		rows, err := RunAblation(id, fastOpts())
+		rows, err := RunAblation(context.Background(), id, fastOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -113,7 +114,7 @@ func TestRunAblations(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunAblation("nope", fastOpts()); err == nil {
+	if _, err := RunAblation(context.Background(), "nope", fastOpts()); err == nil {
 		t.Error("unknown ablation accepted")
 	}
 }

@@ -14,10 +14,12 @@
 package ktour
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tsp"
 )
 
@@ -126,10 +128,19 @@ func TourDelay(in Input, tour []int) float64 {
 // MinMax computes K node-disjoint closed tours covering all nodes with
 // near-minimal longest delay. It runs in O(n^2) time dominated by the TSP
 // construction.
-func MinMax(in Input) (*Solution, error) {
+//
+// MinMax honors ctx between its phases (grand-tour construction, the
+// binary search, the balance pass) and returns an error wrapping
+// ctx.Err() on cancellation. Its total runtime is recorded under the
+// kminmax span when ctx carries an obs.Tracer.
+func MinMax(ctx context.Context, in Input) (*Solution, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ktour: %w", err)
+	}
+	defer obs.FromContext(ctx).Start(obs.StageKMinMax).End()
 	n := len(in.Nodes)
 	sol := &Solution{
 		Tours:  make([][]int, in.K),
@@ -143,6 +154,9 @@ func MinMax(in Input) (*Solution, error) {
 	}
 
 	order := GrandTourOrder(in)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ktour: %w", err)
+	}
 
 	// Binary search the smallest target delay T for which greedy packing
 	// of the tour order needs at most K tours. lo is a per-node lower
@@ -160,6 +174,11 @@ func MinMax(in Input) (*Solution, error) {
 		hi *= 2
 	}
 	for iter := 0; iter < 60 && hi-lo > 1e-9*(1+hi); iter++ {
+		if iter%8 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ktour: %w", err)
+			}
+		}
 		mid := (lo + hi) / 2
 		if len(splitAtTarget(in, order, mid)) <= in.K {
 			hi = mid
@@ -174,6 +193,9 @@ func MinMax(in Input) (*Solution, error) {
 	// Balance pass: locally improve each tour with 2-opt on its own nodes
 	// (cannot increase any delay, so the max cannot increase).
 	for k := range sol.Tours {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ktour: %w", err)
+		}
 		improveTour(in, sol.Tours[k])
 	}
 	for k := range sol.Tours {

@@ -1,6 +1,7 @@
 package ktour
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -72,7 +73,7 @@ func TestMinMaxValidation(t *testing.T) {
 			in := base
 			in.Service = append([]float64(nil), base.Service...)
 			tt.mutate(&in)
-			if _, err := MinMax(in); err == nil {
+			if _, err := MinMax(context.Background(), in); err == nil {
 				t.Error("expected error")
 			}
 		})
@@ -81,7 +82,7 @@ func TestMinMaxValidation(t *testing.T) {
 
 func TestMinMaxEmpty(t *testing.T) {
 	in := Input{Depot: geom.Pt(0, 0), Speed: 1, K: 3}
-	sol, err := MinMax(in)
+	sol, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestMinMaxSingleNode(t *testing.T) {
 		Speed:   1,
 		K:       2,
 	}
-	sol, err := MinMax(in)
+	sol, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestMinMaxPartitionProperty(t *testing.T) {
 		n := rng.Intn(60)
 		k := 1 + rng.Intn(5)
 		in := randInput(rng, n, k)
-		sol, err := MinMax(in)
+		sol, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestMinMaxMoreVehiclesNeverHurts(t *testing.T) {
 	prev := math.Inf(1)
 	for k := 1; k <= 5; k++ {
 		in.K = k
-		sol, err := MinMax(in)
+		sol, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,11 +162,11 @@ func TestMinMaxSymmetricSplit(t *testing.T) {
 	}
 	one := in
 	one.K = 1
-	sol1, err := MinMax(one)
+	sol1, err := MinMax(context.Background(), one)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol2, err := MinMax(in)
+	sol2, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestMinMaxNearOptimalOnLine(t *testing.T) {
 		Speed: 1,
 		K:     2,
 	}
-	sol, err := MinMax(in)
+	sol, err := MinMax(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func BenchmarkMinMax500(b *testing.B) {
 	in := randInput(rand.New(rand.NewSource(1)), 500, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := MinMax(in); err != nil {
+		if _, err := MinMax(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package ktour
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -25,7 +26,7 @@ func TestMinMaxQuickPartition(t *testing.T) {
 			in.Nodes = append(in.Nodes, geom.Pt(rng.Float64()*100, rng.Float64()*100))
 			in.Service = append(in.Service, rng.Float64()*float64(scale))
 		}
-		sol, err := MinMax(in)
+		sol, err := MinMax(context.Background(), in)
 		if err != nil {
 			return false
 		}
@@ -61,7 +62,7 @@ func TestMinMaxServiceMonotonicity(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 5 + rng.Intn(40)
 		in := randInput(rng, n, 1+rng.Intn(4))
-		base, err := MinMax(in)
+		base, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func TestMinMaxServiceMonotonicity(t *testing.T) {
 		for i := range heavier.Service {
 			heavier.Service[i] = in.Service[i] + 100
 		}
-		heavy, err := MinMax(heavier)
+		heavy, err := MinMax(context.Background(), heavier)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestBuildersAllValid(t *testing.T) {
 	in := randInput(rng, 60, 3)
 	for _, b := range []Builder{BuilderChristofides, BuilderMST, BuilderNearestNeighbor, Builder(0)} {
 		in.Builder = b
-		sol, err := MinMax(in)
+		sol, err := MinMax(context.Background(), in)
 		if err != nil {
 			t.Fatalf("builder %v: %v", b, err)
 		}

@@ -1,6 +1,7 @@
 package lowerbound
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func TestBoundBelowAllSchedules(t *testing.T) {
 		}
 		lb := Compute(in)
 		for _, p := range planners {
-			s, err := p.Plan(in)
+			s, err := p.Plan(context.Background(), in)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,13 +105,16 @@ func TestBoundBelowExactOptimum(t *testing.T) {
 			kin.Nodes = append(kin.Nodes, pos)
 			kin.Service = append(kin.Service, dur)
 		}
-		opt, _, err := exact.MinMax(kin)
+		res, err := exact.MinMax(context.Background(), kin)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if !res.Exact {
+			t.Fatalf("trial %d: exact solver fell back without cancellation", trial)
+		}
 		lb := Compute(in)
-		if lb.Value > opt+1e-6 {
-			t.Fatalf("trial %d: lower bound %v exceeds optimum %v", trial, lb.Value, opt)
+		if lb.Value > res.Value+1e-6 {
+			t.Fatalf("trial %d: lower bound %v exceeds optimum %v", trial, lb.Value, res.Value)
 		}
 	}
 }
@@ -130,7 +134,7 @@ func TestApproEmpiricalQuality(t *testing.T) {
 				Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 			})
 		}
-		s, err := core.ApproPlanner{}.Plan(in)
+		s, err := core.ApproPlanner{}.Plan(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +146,7 @@ func TestApproEmpiricalQuality(t *testing.T) {
 		if ratio > worst {
 			worst = ratio
 		}
-		ana, err := core.Analyze(in, core.Options{})
+		ana, err := core.Analyze(context.Background(), in, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

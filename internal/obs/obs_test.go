@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.End()
+	tr.Observe("x", time.Second)
+	tr.Add("c", 3)
+	if got := tr.Report(); len(got.Stages) != 0 || got.TotalSeconds != 0 {
+		t.Errorf("nil tracer report = %+v, want zero", got)
+	}
+	if s := tr.StageSeconds("x"); s != 0 {
+		t.Errorf("nil StageSeconds = %v", s)
+	}
+}
+
+func TestFromContextDefaultsToNil(t *testing.T) {
+	if tr := FromContext(context.Background()); tr != nil {
+		t.Fatalf("FromContext(background) = %v, want nil", tr)
+	}
+}
+
+func TestWithTracerRoundTrip(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+	if ctx2 := WithTracer(context.Background(), nil); FromContext(ctx2) != nil {
+		t.Fatal("WithTracer(nil) should carry no tracer")
+	}
+}
+
+func TestSpanAggregation(t *testing.T) {
+	tr := New()
+	tr.Observe(StageMIS, 10*time.Millisecond)
+	tr.Observe(StageMIS, 30*time.Millisecond)
+	tr.Observe(StageInsertion, 5*time.Millisecond)
+	tr.Add("plans", 1)
+	tr.Add("plans", 1)
+
+	r := tr.Report()
+	if len(r.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(r.Stages))
+	}
+	if r.Stages[0].Name != StageMIS || r.Stages[0].Count != 2 {
+		t.Errorf("stage[0] = %+v, want mis count 2", r.Stages[0])
+	}
+	if got, want := r.Stages[0].Seconds, 0.04; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("mis seconds = %v, want %v", got, want)
+	}
+	if r.Counters["plans"] != 2 {
+		t.Errorf("plans counter = %d, want 2", r.Counters["plans"])
+	}
+	if s := tr.StageSeconds(StageInsertion); s < 0.005-1e-9 {
+		t.Errorf("StageSeconds(insertion) = %v", s)
+	}
+}
+
+func TestSpanStartEndRecords(t *testing.T) {
+	tr := New()
+	sp := tr.Start("work")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if s := tr.StageSeconds("work"); s <= 0 {
+		t.Fatalf("span recorded %v seconds, want > 0", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("s")
+				sp.End()
+				tr.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	r := tr.Report()
+	if r.Stages[0].Count != 800 {
+		t.Errorf("span count = %d, want 800", r.Stages[0].Count)
+	}
+	if r.Counters["n"] != 800 {
+		t.Errorf("counter = %d, want 800", r.Counters["n"])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New()
+	tr.Observe(StageExecute, 2*time.Second)
+	tr.Add("rounds", 7)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(r.Stages) != 1 || r.Stages[0].Name != StageExecute || r.Stages[0].Seconds != 2 {
+		t.Errorf("decoded stages = %+v", r.Stages)
+	}
+	if r.Counters["rounds"] != 7 {
+		t.Errorf("decoded counters = %+v", r.Counters)
+	}
+	if !strings.Contains(buf.String(), "total_seconds") {
+		t.Error("JSON missing total_seconds field")
+	}
+}
+
+func TestProgressSerializesAndIsNilSafe(t *testing.T) {
+	var nilP *Progress
+	nilP.Emit("dropped %d", 1) // must not panic
+	NewProgress(nil).Emit("also dropped")
+
+	// Concurrent emitters against an intentionally racy sink: the
+	// Progress lock is what keeps the data race away, which `go test
+	// -race` checks.
+	var lines []string
+	p := NewProgress(func(msg string) { lines = append(lines, msg) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Emit("worker %d line %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+}

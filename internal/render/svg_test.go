@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestSVGBasic(t *testing.T) {
 			Duration: 3600,
 		})
 	}
-	s, err := core.ApproPlanner{}.Plan(in)
+	s, err := core.ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestGantt(t *testing.T) {
 			Duration: 1800,
 		})
 	}
-	s, err := core.ApproPlanner{}.Plan(in)
+	s, err := core.ApproPlanner{}.Plan(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

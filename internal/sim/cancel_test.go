@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// cancellingPlanner wraps an inner planner and fires cancel after a given
+// number of Plan calls, producing a deterministic mid-run cancellation.
+type cancellingPlanner struct {
+	inner  core.Planner
+	after  int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (p *cancellingPlanner) Name() string { return p.inner.Name() }
+
+func (p *cancellingPlanner) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
+	p.calls++
+	if p.calls > p.after {
+		p.cancel()
+	}
+	return p.inner.Plan(ctx, in)
+}
+
+// TestRunHonorsContext is the table-driven cancellation contract test for
+// both dispatch protocols: a cancelled run must return promptly with an
+// error wrapping the context sentinel AND a partial result whose books are
+// closed at the cancellation time.
+func TestRunHonorsContext(t *testing.T) {
+	nw := smallNetwork(t, 40, 3)
+	cfg := Config{Duration: Year}
+
+	tests := []struct {
+		name     string
+		dispatch DispatchMode
+		preOnly  bool // cancel before the run instead of mid-run
+		want     error
+	}{
+		{"synchronized pre-cancelled", DispatchSynchronized, true, context.Canceled},
+		{"independent pre-cancelled", DispatchIndependent, true, context.Canceled},
+		{"synchronized mid-run", DispatchSynchronized, false, context.Canceled},
+		{"independent mid-run", DispatchIndependent, false, context.Canceled},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var planner core.Planner = core.ApproPlanner{}
+			if tt.preOnly {
+				cancel()
+			} else {
+				planner = &cancellingPlanner{inner: core.ApproPlanner{}, after: 2, cancel: cancel}
+			}
+			c := cfg
+			c.Dispatch = tt.dispatch
+			res, err := Run(ctx, nw, 2, planner, c)
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want errors.Is(..., %v)", err, tt.want)
+			}
+			if res == nil {
+				t.Fatal("cancelled run returned no partial result")
+			}
+			if res.End >= cfg.Duration {
+				t.Fatalf("partial result End = %v, want < full duration %v", res.End, cfg.Duration)
+			}
+			if tt.preOnly && len(res.Rounds) != 0 {
+				t.Fatalf("pre-cancelled run executed %d rounds", len(res.Rounds))
+			}
+			if !tt.preOnly && len(res.Rounds) == 0 {
+				t.Fatal("mid-run cancellation recorded no completed rounds")
+			}
+		})
+	}
+}
+
+// TestRunDeadlineExceeded checks that a deadline (rather than an explicit
+// cancel) surfaces as context.DeadlineExceeded through the same path.
+func TestRunDeadlineExceeded(t *testing.T) {
+	nw := smallNetwork(t, 20, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	res, err := Run(ctx, nw, 2, core.ApproPlanner{}, Config{Duration: Year})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+}

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wrsn"
 )
@@ -51,11 +53,15 @@ type interval struct {
 }
 
 // runIndependent is the DispatchIndependent main loop. It mirrors Run's
-// bookkeeping but drives each charger separately.
-func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
+// bookkeeping — including the partial-result-on-cancellation contract —
+// but drives each charger separately.
+func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 	states []sensorState, targets []float64) (*Result, error) {
 	res := &Result{Planner: planner.Name()}
+	tr := obs.FromContext(ctx)
 	var longestAcc stats.Accumulator
+	var runErr error
+	cancelledAt := 0.0
 
 	free := make([]float64, k)         // when each charger is next at the depot
 	lastDispatch := make([]float64, k) // when each charger last left
@@ -76,6 +82,10 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			runErr = fmt.Errorf("sim: cancelled at t=%.0f: %w", cancelledAt, err)
+			break
+		}
 		if cfg.MaxRounds > 0 && len(res.Rounds) >= cfg.MaxRounds {
 			break
 		}
@@ -98,6 +108,7 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 			}
 		}
 		now := effective(ch)
+		cancelledAt = now
 		if now >= cfg.Duration {
 			break
 		}
@@ -136,12 +147,18 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 
 		// Plan a single-vehicle tour over the claimed set.
 		inst := buildInstance(nw, states, pending, 1, cfg.ChargeLevel)
-		sched, err := planner.Plan(inst)
+		sched, err := planner.Plan(ctx, inst)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				runErr = fmt.Errorf("sim: cancelled at t=%.0f: %w", now, cerr)
+				break
+			}
 			return nil, fmt.Errorf("sim: planner %s at t=%.0f: %w", planner.Name(), now, err)
 		}
 		if cfg.Verify {
+			sp := tr.Start(obs.StageVerify)
 			res.Violations += len(verifySchedule(inst, sched))
+			sp.End()
 		}
 		tour := flattenTours(sched)
 		if len(tour) == 0 {
@@ -216,6 +233,8 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 			Longest: delay,
 			Wait:    wait,
 		})
+		tr.Add("sim.rounds", 1)
+		tr.Add("sim.charges", int64(len(pending)))
 		longestAcc.Add(delay)
 		if delay > res.MaxLongest {
 			res.MaxLongest = delay
@@ -244,8 +263,14 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 		}
 	}
 
-	// Close the books.
+	// Close the books. A cancelled run still closes at the committed
+	// horizon — charges were applied at their absolute future times when
+	// each tour was committed, so the books cannot close earlier than the
+	// last in-flight tour's return.
 	res.End = cfg.Duration
+	if runErr != nil {
+		res.End = cancelledAt
+	}
 	for _, f := range free {
 		if f > res.End {
 			res.End = f
@@ -263,7 +288,7 @@ func runIndependent(nw *wrsn.Network, k int, planner core.Planner, cfg Config,
 		res.AvgDeadPerSensor = totalDead / float64(len(states))
 	}
 	res.AvgLongest = longestAcc.Mean()
-	return res, nil
+	return res, runErr
 }
 
 // flattenTours concatenates a (K=1) schedule's stops in time order.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baselines"
@@ -20,7 +21,7 @@ func TestIndependentAllPlanners(t *testing.T) {
 	nw := smallNetwork(t, 80, 12)
 	planners := append([]core.Planner{core.ApproPlanner{}}, baselines.All()...)
 	for _, p := range planners {
-		res, err := Run(nw, 2, p, independentCfg())
+		res, err := Run(context.Background(), nw, 2, p, independentCfg())
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -38,11 +39,11 @@ func TestIndependentAllPlanners(t *testing.T) {
 
 func TestIndependentDeterministic(t *testing.T) {
 	nw := smallNetwork(t, 60, 13)
-	a, err := Run(nw, 3, core.ApproPlanner{}, independentCfg())
+	a, err := Run(context.Background(), nw, 3, core.ApproPlanner{}, independentCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(nw, 3, core.ApproPlanner{}, independentCfg())
+	b, err := Run(context.Background(), nw, 3, core.ApproPlanner{}, independentCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestIndependentDispatchesInterleave(t *testing.T) {
 	// interleave: some dispatch happens while another charger is still
 	// out (its return time is after the later dispatch's start).
 	nw := smallNetwork(t, 200, 14)
-	res, err := Run(nw, 2, core.ApproPlanner{}, independentCfg())
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, independentCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestIndependentDispatchesInterleave(t *testing.T) {
 
 func TestIndependentDispatchOrderIsChronological(t *testing.T) {
 	nw := smallNetwork(t, 150, 15)
-	res, err := Run(nw, 3, core.ApproPlanner{}, independentCfg())
+	res, err := Run(context.Background(), nw, 3, core.ApproPlanner{}, independentCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestIndependentRespectsMaxRounds(t *testing.T) {
 	nw := smallNetwork(t, 100, 16)
 	cfg := independentCfg()
 	cfg.MaxRounds = 4
-	res, err := Run(nw, 2, core.ApproPlanner{}, cfg)
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestIndependentVsSynchronizedBothFeasible(t *testing.T) {
 	nw := smallNetwork(t, 250, 17)
 	sync := independentCfg()
 	sync.Dispatch = DispatchSynchronized
-	a, err := Run(nw, 2, core.ApproPlanner{}, sync)
+	a, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, sync)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(nw, 2, core.ApproPlanner{}, independentCfg())
+	b, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, independentCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

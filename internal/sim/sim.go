@@ -14,12 +14,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wrsn"
 )
@@ -197,7 +199,16 @@ func (s *sensorState) chargeAt(t, level float64) float64 {
 
 // Run simulates the network under the given planner and configuration.
 // The input network is not modified. K is the number of chargers.
-func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, error) {
+//
+// Run honors ctx: it checks for cancellation before every charging round
+// and passes ctx to the planner, so a deadline aborts even a mid-plan
+// round promptly. On cancellation it returns BOTH a partial Result —
+// rounds completed so far, books closed at the cancellation time — and an
+// error wrapping ctx.Err(); callers that want the partial data check the
+// error with errors.Is and still read the result. When ctx carries an
+// obs.Tracer, per-round verification is recorded under the verify span
+// and the planner records its own stages.
+func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
@@ -237,13 +248,19 @@ func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, er
 	}
 	trace := newTracer(cfg.Trace)
 	if cfg.Dispatch == DispatchIndependent {
-		return runIndependent(nw, k, planner, cfg, states, targets)
+		return runIndependent(ctx, nw, k, planner, cfg, states, targets)
 	}
 
+	tr := obs.FromContext(ctx)
 	now := 0.0
 	var longestAcc stats.Accumulator
+	var runErr error
 
 	for now < cfg.Duration {
+		if err := ctx.Err(); err != nil {
+			runErr = fmt.Errorf("sim: cancelled at t=%.0f: %w", now, err)
+			break
+		}
 		if cfg.MaxRounds > 0 && len(res.Rounds) >= cfg.MaxRounds {
 			break
 		}
@@ -260,12 +277,21 @@ func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, er
 		}
 		// Snapshot batteries into the network view for instance building.
 		inst := buildInstance(nw, states, pending, k, cfg.ChargeLevel)
-		sched, err := planner.Plan(inst)
+		sched, err := planner.Plan(ctx, inst)
 		if err != nil {
+			// A cancelled planner aborts the round but not the
+			// bookkeeping: close the books and hand back the partial
+			// result alongside the context error.
+			if cerr := ctx.Err(); cerr != nil {
+				runErr = fmt.Errorf("sim: cancelled at t=%.0f: %w", now, cerr)
+				break
+			}
 			return nil, fmt.Errorf("sim: planner %s at t=%.0f: %w", planner.Name(), now, err)
 		}
 		if cfg.Verify {
+			sp := tr.Start(obs.StageVerify)
 			res.Violations += len(verifySchedule(inst, sched))
+			sp.End()
 		}
 		// Apply charges at their absolute finish times, in time order so
 		// dead-time accounting is exact.
@@ -312,6 +338,8 @@ func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, er
 			Kind: "dispatch", T: now, Charger: -1,
 			Batch: len(pending), Stops: sched.NumStops(), Delay: sched.Longest,
 		})
+		tr.Add("sim.rounds", 1)
+		tr.Add("sim.charges", int64(len(pending)))
 		longestAcc.Add(sched.Longest)
 		if sched.Longest > res.MaxLongest {
 			res.MaxLongest = sched.Longest
@@ -330,9 +358,11 @@ func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, er
 		now = nextDispatch
 	}
 
-	// Close out the books at the end time.
+	// Close out the books at the end time. A cancelled run closes at the
+	// cancellation time instead of the configured horizon, so the partial
+	// metrics describe only the simulated span.
 	res.End = now
-	if res.End < cfg.Duration {
+	if runErr == nil && res.End < cfg.Duration {
 		res.End = cfg.Duration
 	}
 	totalDead := 0.0
@@ -350,7 +380,7 @@ func Run(nw *wrsn.Network, k int, planner core.Planner, cfg Config) (*Result, er
 	if err := trace.Err(); err != nil {
 		return nil, fmt.Errorf("sim: trace: %w", err)
 	}
-	return res, nil
+	return res, runErr
 }
 
 // pendingRequests returns sensor IDs below their request trigger at time

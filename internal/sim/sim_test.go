@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -24,15 +25,15 @@ func smallNetwork(t *testing.T, n int, seed int64) *wrsn.Network {
 
 func TestRunValidation(t *testing.T) {
 	nw := smallNetwork(t, 10, 1)
-	if _, err := Run(nw, 0, core.ApproPlanner{}, Config{}); err == nil {
+	if _, err := Run(context.Background(), nw, 0, core.ApproPlanner{}, Config{}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := Run(nw, 2, nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), nw, 2, nil, Config{}); err == nil {
 		t.Error("nil planner accepted")
 	}
 	bad := *nw
 	bad.Speed = 0
-	if _, err := Run(&bad, 2, core.ApproPlanner{}, Config{}); err == nil {
+	if _, err := Run(context.Background(), &bad, 2, core.ApproPlanner{}, Config{}); err == nil {
 		t.Error("invalid network accepted")
 	}
 }
@@ -42,7 +43,7 @@ func TestRunShortHorizonAllPlanners(t *testing.T) {
 	cfg := Config{Duration: 30 * 86400, Verify: true}
 	planners := append([]core.Planner{core.ApproPlanner{}}, baselines.All()...)
 	for _, p := range planners {
-		res, err := Run(nw, 2, p, cfg)
+		res, err := Run(context.Background(), nw, 2, p, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -70,7 +71,7 @@ func TestRunDoesNotMutateNetwork(t *testing.T) {
 	for i := range nw.Sensors {
 		before[i] = nw.Sensors[i].Battery.Residual
 	}
-	if _, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 20 * 86400}); err != nil {
+	if _, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 20 * 86400}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range nw.Sensors {
@@ -82,11 +83,11 @@ func TestRunDoesNotMutateNetwork(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	nw := smallNetwork(t, 50, 4)
-	a, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 30 * 86400})
+	a, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 30 * 86400})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 30 * 86400})
+	b, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 30 * 86400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunMaxRounds(t *testing.T) {
 	nw := smallNetwork(t, 60, 5)
-	res, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: Year, MaxRounds: 3})
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: Year, MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestRunNoDrawNoRounds(t *testing.T) {
 	for i := range nw.Sensors {
 		nw.Sensors[i].Draw = 0
 	}
-	res, err := Run(nw, 1, core.ApproPlanner{}, Config{Duration: 86400})
+	res, err := Run(context.Background(), nw, 1, core.ApproPlanner{}, Config{Duration: 86400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRoundBatchesGrowWithBacklog(t *testing.T) {
 	// Sanity: batches should track request accumulation — over a longer
 	// horizon at least one round serves more than one sensor.
 	nw := smallNetwork(t, 150, 7)
-	res, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 60 * 86400})
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 60 * 86400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSensorStateDeadAccounting(t *testing.T) {
 func TestAvgDeadZeroWhenKeptAlive(t *testing.T) {
 	// Tiny, lightly loaded network: nothing should ever die.
 	nw := smallNetwork(t, 20, 8)
-	res, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 90 * 86400})
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 90 * 86400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +193,11 @@ func TestIsOneToOne(t *testing.T) {
 
 func TestPartialCharging(t *testing.T) {
 	nw := smallNetwork(t, 120, 19)
-	full, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 60 * 86400, BatchWindow: DefaultBatchWindow})
+	full, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 60 * 86400, BatchWindow: DefaultBatchWindow})
 	if err != nil {
 		t.Fatal(err)
 	}
-	partial, err := Run(nw, 2, core.ApproPlanner{}, Config{
+	partial, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{
 		Duration:    60 * 86400,
 		BatchWindow: DefaultBatchWindow,
 		ChargeLevel: 0.6,
@@ -255,7 +256,7 @@ func TestChargeAtPartialLevels(t *testing.T) {
 func TestTraceStream(t *testing.T) {
 	nw := smallNetwork(t, 60, 21)
 	var buf bytes.Buffer
-	res, err := Run(nw, 2, core.ApproPlanner{}, Config{
+	res, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{
 		Duration:    30 * 86400,
 		BatchWindow: DefaultBatchWindow,
 		Trace:       &buf,
@@ -296,7 +297,7 @@ func TestTraceStream(t *testing.T) {
 
 func TestTraceNilWriterIsFine(t *testing.T) {
 	nw := smallNetwork(t, 20, 22)
-	if _, err := Run(nw, 1, core.ApproPlanner{}, Config{Duration: 10 * 86400}); err != nil {
+	if _, err := Run(context.Background(), nw, 1, core.ApproPlanner{}, Config{Duration: 10 * 86400}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -314,7 +315,7 @@ func (w *errWriter) Write(p []byte) (int, error) {
 
 func TestTraceWriteErrorSurfaces(t *testing.T) {
 	nw := smallNetwork(t, 60, 23)
-	_, err := Run(nw, 2, core.ApproPlanner{}, Config{
+	_, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{
 		Duration: 30 * 86400,
 		Trace:    &errWriter{},
 	})
@@ -350,11 +351,11 @@ func TestConsolidationFactorAboveOneForAppro(t *testing.T) {
 	// Dense network: Appro must consolidate (>1 sensors per stop), while
 	// the one-to-one K-minMax baseline sits exactly at 1.
 	nw := smallNetwork(t, 400, 31)
-	appro, err := Run(nw, 2, core.ApproPlanner{}, Config{Duration: 120 * 86400, BatchWindow: DefaultBatchWindow})
+	appro, err := Run(context.Background(), nw, 2, core.ApproPlanner{}, Config{Duration: 120 * 86400, BatchWindow: DefaultBatchWindow})
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := Run(nw, 2, baselines.KMinMax{}, Config{Duration: 120 * 86400, BatchWindow: DefaultBatchWindow})
+	one, err := Run(context.Background(), nw, 2, baselines.KMinMax{}, Config{Duration: 120 * 86400, BatchWindow: DefaultBatchWindow})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,11 +14,20 @@
 //   - the one-year evaluation simulator (Simulate, SimConfig) and the
 //     figure harness (RunFigure) that regenerates the paper's Figures 3-5.
 //
+// Every planning and evaluation entry point takes a context.Context:
+// cancelling it (or letting its deadline expire) aborts the computation
+// promptly with an error wrapping ctx.Err(), and the simulator and figure
+// harness additionally return the partial results accumulated up to that
+// point. Attach a Tracer with WithTracer to collect per-stage wall-clock
+// timings and counters; with no tracer attached the instrumentation is
+// free.
+//
 // See the examples/ directory for runnable end-to-end programs and
 // EXPERIMENTS.md for the paper-versus-measured record.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lowerbound"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/wrsn"
@@ -90,23 +100,51 @@ const Year = sim.Year
 // harness (24 hours).
 const DefaultBatchWindow = sim.DefaultBatchWindow
 
+// Observability (see internal/obs). A Tracer attached to the context via
+// WithTracer collects per-stage wall-clock timings (charging-graph, mis,
+// kminmax, insertion, execute, verify) and named counters from every
+// planning and simulation entry point; when no tracer is attached the
+// instrumentation is free.
+type (
+	// Tracer aggregates stage timings and counters for one run.
+	Tracer = obs.Tracer
+	// TraceReport is a tracer's aggregated, serializable snapshot.
+	TraceReport = obs.Report
+)
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer { return obs.New() }
+
+// WithTracer returns a context carrying the tracer; pass it to Appro,
+// Simulate, RunFigure etc. to collect stage timings.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// TracerFromContext returns the context's tracer, or nil (all Tracer
+// methods are nil-safe no-ops).
+func TracerFromContext(ctx context.Context) *Tracer { return obs.FromContext(ctx) }
+
 // Appro runs Algorithm 1 of the paper and returns the planned schedule.
 // Most callers want PlanAppro, which additionally executes the plan so the
-// returned times are conflict-free.
-func Appro(in *Instance, opts ApproOptions) (*Schedule, error) {
-	return core.Appro(in, opts)
+// returned times are conflict-free. The context cancels or deadlines the
+// computation; the returned error then wraps ctx.Err().
+func Appro(ctx context.Context, in *Instance, opts ApproOptions) (*Schedule, error) {
+	return core.Appro(ctx, in, opts)
 }
 
 // PlanAppro plans with Algorithm Appro and executes the plan, returning a
 // schedule that provably never charges a sensor from two chargers at once.
-func PlanAppro(in *Instance, opts ApproOptions) (*Schedule, error) {
-	return core.ApproPlanner{Opts: opts}.Plan(in)
+func PlanAppro(ctx context.Context, in *Instance, opts ApproOptions) (*Schedule, error) {
+	return core.ApproPlanner{Opts: opts}.Plan(ctx, in)
 }
 
 // Execute simulates the chargers driving a planned schedule, enforcing the
-// no-simultaneous-charging constraint by waiting where needed.
-func Execute(in *Instance, planned *Schedule) *Schedule {
-	return core.Execute(in, planned)
+// no-simultaneous-charging constraint by waiting where needed. It always
+// runs to completion — a half-executed schedule would be unusable — but
+// records its duration on any tracer in ctx.
+func Execute(ctx context.Context, in *Instance, planned *Schedule) *Schedule {
+	return core.Execute(ctx, in, planned)
 }
 
 // Verify independently checks a schedule against the problem definition
@@ -159,17 +197,21 @@ func GenerateNetwork(p NetworkParams, seed int64) (*Network, error) {
 }
 
 // Simulate runs the paper's evaluation protocol on the network with k
-// chargers under the given planner.
-func Simulate(nw *Network, k int, planner Planner, cfg SimConfig) (*SimResult, error) {
-	return sim.Run(nw, k, planner, cfg)
+// chargers under the given planner. On cancellation it returns both the
+// partial result — books closed at the cancellation time — and an error
+// wrapping ctx.Err().
+func Simulate(ctx context.Context, nw *Network, k int, planner Planner, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(ctx, nw, k, planner, cfg)
 }
 
 // RunFigure regenerates one of the paper's evaluation figures: id "3"
 // sweeps the network size, "4" the maximum data rate, "5" the number of
 // chargers. It returns the (a) panel — average longest tour duration in
 // hours — and the (b) panel — average dead duration per sensor in minutes.
-func RunFigure(id string, opt ExperimentOptions) (a, b *FigureResult, err error) {
-	return experiments.Run(id, opt)
+// On cancellation the panels aggregate the cells that completed and the
+// error wraps ctx.Err().
+func RunFigure(ctx context.Context, id string, opt ExperimentOptions) (a, b *FigureResult, err error) {
+	return experiments.Run(ctx, id, opt)
 }
 
 // Analysis and bounds (see internal/core and internal/lowerbound).
@@ -185,8 +227,8 @@ type (
 // Analyze computes the approximation-ratio ingredients of Theorem 1 — the
 // auxiliary graph's maximum degree, tau_max/tau_min, and the resulting
 // instance-specific guarantee — without producing a schedule.
-func Analyze(in *Instance, opts ApproOptions) (*Analysis, error) {
-	return core.Analyze(in, opts)
+func Analyze(ctx context.Context, in *Instance, opts ApproOptions) (*Analysis, error) {
+	return core.Analyze(ctx, in, opts)
 }
 
 // ComputeLowerBound returns provable lower bounds on the optimal longest
@@ -208,8 +250,8 @@ type (
 
 // SplitCapacitated converts a planned schedule into depot-returning trips
 // that each fit the charger battery. eta is the charging rate in watts.
-func SplitCapacitated(in *Instance, s *Schedule, eta float64, p ChargerParams) (*CapacitatedPlan, error) {
-	return capacitated.Split(in, s, eta, p)
+func SplitCapacitated(ctx context.Context, in *Instance, s *Schedule, eta float64, p ChargerParams) (*CapacitatedPlan, error) {
+	return capacitated.Split(ctx, in, s, eta, p)
 }
 
 // LoadNetwork reads a JSON network (as written by cmd/wrsn-gen or

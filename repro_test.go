@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func demoInstance(rng *rand.Rand, n, k int) *repro.Instance {
 
 func TestPublicPlanAndVerifyRoundTrip(t *testing.T) {
 	in := demoInstance(rand.New(rand.NewSource(1)), 80, 2)
-	s, err := repro.PlanAppro(in, repro.ApproOptions{})
+	s, err := repro.PlanAppro(context.Background(), in, repro.ApproOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,11 +41,11 @@ func TestPublicPlanAndVerifyRoundTrip(t *testing.T) {
 
 func TestPublicApproThenExecute(t *testing.T) {
 	in := demoInstance(rand.New(rand.NewSource(2)), 50, 3)
-	planned, err := repro.Appro(in, repro.ApproOptions{})
+	planned, err := repro.Appro(context.Background(), in, repro.ApproOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	executed := repro.Execute(in, planned)
+	executed := repro.Execute(context.Background(), in, planned)
 	if vs := repro.Verify(in, executed); len(vs) != 0 {
 		t.Fatalf("executed violations: %v", vs)
 	}
@@ -74,7 +75,7 @@ func TestPublicSimulate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range repro.Planners() {
-		res, err := repro.Simulate(nw, 2, p, repro.SimConfig{
+		res, err := repro.Simulate(context.Background(), nw, 2, p, repro.SimConfig{
 			Duration:    20 * 86400,
 			BatchWindow: repro.DefaultBatchWindow,
 			Verify:      true,
@@ -92,7 +93,7 @@ func TestPublicSimulate(t *testing.T) {
 }
 
 func TestPublicRunFigureTiny(t *testing.T) {
-	a, b, err := repro.RunFigure("5", repro.ExperimentOptions{
+	a, b, err := repro.RunFigure(context.Background(), "5", repro.ExperimentOptions{
 		Instances: 1,
 		Duration:  5 * 86400,
 	})
