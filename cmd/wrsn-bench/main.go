@@ -4,12 +4,15 @@
 // Figure 4 (maximum data rate sweep) and Figure 5 (charger count sweep),
 // each with its (a) average-longest-tour-duration panel and (b)
 // average-dead-duration panel, plus the design ablations documented in
-// DESIGN.md.
+// DESIGN.md. Two extensions beyond the paper are available on request:
+// figure C sweeps deployment clustering and figure F sweeps the MCV
+// breakdown probability under the fault-injection subsystem.
 //
 // Usage:
 //
 //	wrsn-bench -fig all -instances 10
 //	wrsn-bench -fig 3 -instances 30 -csv
+//	wrsn-bench -fig F -instances 10 -days 90
 //	wrsn-bench -fig ablation
 //
 // Output is one aligned text table per panel (x column plus one column per
@@ -22,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -37,7 +41,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", `figure to regenerate: "3", "4", "5" (paper), "C" (clustering extension), "all" or "ablation"`)
+		fig       = flag.String("fig", "all", `figure to regenerate: "3", "4", "5" (paper), "C" (clustering extension), "F" (MCV breakdown-rate sweep), "all" or "ablation"`)
 		instances = flag.Int("instances", 10, "random networks per sweep point (paper: 100)")
 		days      = flag.Float64("days", 365, "monitored period in days (paper: one year)")
 		window    = flag.Float64("window", sim.DefaultBatchWindow/3600, "dispatch batching window in hours")
@@ -97,7 +101,7 @@ func main() {
 func run(ctx context.Context, fig string, opt experiments.Options, csv bool, svgDir, jsonDir string) error {
 	start := time.Now()
 	switch fig {
-	case "3", "4", "5", "C", "c":
+	case "3", "4", "5", "C", "c", "F", "f":
 		if err := runFigure(ctx, fig, opt, csv, svgDir, jsonDir); err != nil {
 			return err
 		}
@@ -175,8 +179,17 @@ func printFigure(f *experiments.Figure, opt experiments.Options, csv bool) error
 		header = append(header, s.Label)
 	}
 	tb := export.NewTable(title, header...)
+	// Integer sweeps (n, K, kbps) print clean; fractional sweeps like
+	// figure F's breakdown probabilities need the decimals kept.
+	xDec := 0
+	for _, x := range f.X {
+		if x != math.Trunc(x) {
+			xDec = 2
+			break
+		}
+	}
 	for xi, x := range f.X {
-		row := []string{export.F(x, 0)}
+		row := []string{export.F(x, xDec)}
 		for _, s := range f.Series {
 			row = append(row, export.F(s.Y[xi], 1))
 		}

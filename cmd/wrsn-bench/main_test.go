@@ -36,6 +36,12 @@ func TestRunFigureCSV(t *testing.T) {
 	}
 }
 
+func TestRunFigureFaults(t *testing.T) {
+	if err := run(context.Background(), "F", tinyOpts(), true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunAblations(t *testing.T) {
 	if err := run(context.Background(), "ablation", tinyOpts(), false, "", ""); err != nil {
 		t.Fatal(err)

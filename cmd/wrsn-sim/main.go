@@ -7,6 +7,7 @@
 //
 //	wrsn-sim -n 1000 -k 2 -planner Appro -days 365
 //	wrsn-sim -n 1200 -k 2 -planner K-minMax -rounds
+//	wrsn-sim -n 600 -k 3 -faults mcv=0.1,transient=0.5,travel-noise=0.05 -fault-seed 7
 package main
 
 import (
@@ -38,6 +39,9 @@ func main() {
 		indep   = flag.Bool("independent", false, "use independent per-charger dispatch instead of synchronized rounds")
 		trace   = flag.String("trace", "", "write a JSONL event trace (dispatch/charge/dead) to this file")
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this long, reporting the partial run (0 = no limit)")
+		faults  = flag.String("faults", "", "inject faults per this compact spec, e.g. mcv=0.1,transient=0.5,travel-noise=0.05 (see repro.ParseFaultSpec)")
+		fseed   = flag.Int64("fault-seed", 0, "fault-injection seed (0 = reuse -seed); equal seeds replay identical faults")
+		fspec   = flag.String("fault-spec", "", "load the full fault plan from this JSON file instead of -faults")
 	)
 	flag.Parse()
 
@@ -55,11 +59,15 @@ func main() {
 		n: *n, k: *k, name: *name, days: *days, windowH: *window,
 		seed: *seed, bmaxKbps: *bmax, clusters: *cluster, load: *load,
 		level: *level, independent: *indep, verify: *verify, printRounds: *rounds,
-		trace: *trace,
+		trace: *trace, faults: *faults, faultSeed: *fseed, faultSpec: *fspec,
 	}); err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "wrsn-sim: partial — cancelled:", err)
 			os.Exit(2)
+		}
+		if errors.Is(err, repro.ErrFleetLost) {
+			fmt.Fprintln(os.Stderr, "wrsn-sim: degraded —", err)
+			os.Exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
 		os.Exit(1)
@@ -76,6 +84,42 @@ type runOpts struct {
 	independent             bool
 	verify, printRounds     bool
 	trace                   string
+	faults, faultSpec       string
+	faultSeed               int64
+}
+
+// faultPlan resolves the three fault flags into a plan (or nil when fault
+// injection is off): -fault-spec loads a full JSON plan, -faults parses the
+// compact spec, and -fault-seed (defaulting to the network seed) makes the
+// injected faults replayable.
+func (o runOpts) faultPlan() (*repro.FaultPlan, error) {
+	var plan *repro.FaultPlan
+	switch {
+	case o.faultSpec != "":
+		f, err := os.Open(o.faultSpec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		plan, err = repro.LoadFaultPlan(f)
+		if err != nil {
+			return nil, fmt.Errorf("fault spec %s: %w", o.faultSpec, err)
+		}
+	case o.faults != "":
+		var err error
+		plan, err = repro.ParseFaultSpec(o.faults)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, nil
+	}
+	if o.faultSeed != 0 {
+		plan.Seed = o.faultSeed
+	} else if plan.Seed == 0 {
+		plan.Seed = o.seed
+	}
+	return plan, nil
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -115,12 +159,17 @@ func run(ctx context.Context, o runOpts) error {
 	if o.independent {
 		dispatch = repro.DispatchIndependent
 	}
+	plan, err := o.faultPlan()
+	if err != nil {
+		return err
+	}
 	cfg := repro.SimConfig{
 		Duration:    days * 86400,
 		BatchWindow: windowH * 3600,
 		ChargeLevel: o.level,
 		Dispatch:    dispatch,
 		Verify:      verify,
+		Faults:      plan,
 	}
 	if o.trace != "" {
 		tf, err := os.Create(o.trace)
@@ -135,7 +184,11 @@ func run(ctx context.Context, o runOpts) error {
 		return simErr
 	}
 	if simErr != nil {
-		fmt.Printf("cancelled after %.1f simulated days — partial statistics:\n", res.End/86400)
+		if errors.Is(simErr, repro.ErrFleetLost) {
+			fmt.Printf("fleet lost — statistics up to the %.1f-day horizon:\n", res.End/86400)
+		} else {
+			fmt.Printf("cancelled after %.1f simulated days — partial statistics:\n", res.End/86400)
+		}
 	}
 
 	if printRounds {
@@ -158,10 +211,20 @@ func run(ctx context.Context, o runOpts) error {
 	fmt.Printf("avg dead per sensor:     %.1f min\n", res.AvgDeadPerSensor/60)
 	fmt.Printf("sensors that ever died:  %d / %d\n", res.DeadSensors, n)
 	fmt.Printf("charges delivered:       %d (%.1f kJ)\n", res.Charges, res.EnergyDelivered/1000)
+	if fs := res.Faults; fs != nil {
+		fmt.Printf("mcv breakdowns:          %d (%d transient, %d permanent; %d repair attempts, %.1f h in repair)\n",
+			fs.MCVFailures, fs.Transient, fs.Permanent, fs.Retries, fs.RepairSeconds/3600)
+		fmt.Printf("surviving chargers:      %d / %d\n", fs.SurvivingMCVs, k)
+		fmt.Printf("stops redistributed:     %d (%d left unserved)\n", fs.Redistributed, fs.Unserved)
+		if fs.SensorFailures > 0 || fs.Bursts > 0 {
+			fmt.Printf("world events:            %d sensor failures, %d request bursts\n", fs.SensorFailures, fs.Bursts)
+		}
+		fmt.Printf("delay inflation:         %.3fx (realized vs planned)\n", fs.DelayInflation())
+	}
 	if verify {
 		fmt.Printf("feasibility violations:  %d\n", res.Violations)
 		if res.Violations > 0 {
-			return fmt.Errorf("%d feasibility violations", res.Violations)
+			return fmt.Errorf("%d feasibility violations (first: %s)", res.Violations, res.FirstViolation)
 		}
 	}
 	return simErr

@@ -49,6 +49,66 @@ func TestRunIndependentAndPartial(t *testing.T) {
 	}
 }
 
+func TestRunWithFaultSpec(t *testing.T) {
+	o := baseOpts()
+	o.faults = "mcv=0.2,transient=0.5,travel-noise=0.05,charge-noise=0.05"
+	o.faultSeed = 7
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	spec := `{"seed": 3, "mcv_fail_rate": 0.1, "travel_noise": 0.05}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts()
+	o.faultSpec = path
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFaultSpecs(t *testing.T) {
+	o := baseOpts()
+	o.faults = "mcv=2" // probability out of range
+	if err := run(context.Background(), o); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	o = baseOpts()
+	o.faultSpec = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(context.Background(), o); err == nil {
+		t.Error("missing fault spec file accepted")
+	}
+}
+
+func TestFaultPlanSeedResolution(t *testing.T) {
+	o := baseOpts()
+	o.faults = "mcv=0.1"
+	plan, err := o.faultPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != o.seed {
+		t.Errorf("plan seed = %d, want network seed %d", plan.Seed, o.seed)
+	}
+	o.faultSeed = 42
+	plan, err = o.faultPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 {
+		t.Errorf("plan seed = %d, want explicit -fault-seed 42", plan.Seed)
+	}
+	o.faults = ""
+	plan, err = o.faultPlan()
+	if err != nil || plan != nil {
+		t.Errorf("no fault flags: plan = %v, err = %v, want nil, nil", plan, err)
+	}
+}
+
 func TestRunLoadMissingFile(t *testing.T) {
 	o := baseOpts()
 	o.load = filepath.Join(t.TempDir(), "missing.json")

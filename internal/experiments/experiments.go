@@ -12,12 +12,14 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/ktour"
 	"repro/internal/obs"
@@ -50,6 +52,12 @@ type Options struct {
 	// the function may be a plain closure over unshared state even
 	// though cells complete on concurrent workers.
 	Progress func(msg string)
+	// Faults, when non-nil, is the fault-plan template applied to every
+	// simulation cell. A zero template Seed is replaced by the cell's
+	// instance seed, so instances see independent fault trajectories
+	// while remaining reproducible. Figure "F" supplies its own per-point
+	// plans and ignores this field.
+	Faults *fault.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +123,10 @@ type sweepSpec struct {
 	// setup returns the workload parameters and charger count for a
 	// sweep value.
 	setup func(x float64) (workload.Params, int)
+	// faults, when non-nil, returns the fault plan for a sweep value and
+	// cell seed (overriding Options.Faults). Figure "F" sweeps the MCV
+	// breakdown rate through it.
+	faults func(x float64, seed int64) *fault.Plan
 }
 
 // planners returns the five algorithms in the paper's presentation order.
@@ -195,10 +207,39 @@ func figureClustered() sweepSpec {
 	}
 }
 
+// figureFaults is not in the paper: it sweeps the per-tour MCV breakdown
+// probability at n = 600, K = 3 under mild delay noise, measuring how
+// gracefully each algorithm's schedules degrade when the online recovery
+// engine redistributes broken chargers' tours. At high rates the fleet
+// can be lost mid-year; such cells contribute their partial (degraded)
+// metrics, exactly what the figure is about.
+func figureFaults() sweepSpec {
+	return sweepSpec{
+		id:     "F",
+		title:  "varying the MCV breakdown probability (n = 600, K = 3)",
+		xlabel: "MCV breakdown probability per tour",
+		xs:     []float64{0, 0.05, 0.1, 0.2},
+		setup: func(x float64) (workload.Params, int) {
+			return workload.NewParams(600), 3
+		},
+		faults: func(x float64, seed int64) *fault.Plan {
+			return &fault.Plan{
+				Seed:          seed,
+				MCVFailRate:   x,
+				TransientFrac: 0.5,
+				RepairTime:    1800,
+				TravelNoise:   0.05,
+				ChargeNoise:   0.05,
+			}
+		},
+	}
+}
+
 // Run executes the sweep behind the given figure pair and returns both
 // panels: (a) average longest tour duration in hours and (b) average dead
 // duration per sensor in minutes. id must be "3", "4" or "5" (the paper's
-// figures) or "C" (this reproduction's clustering extension).
+// figures), "C" (this reproduction's clustering extension) or "F" (the
+// MCV breakdown-rate sweep).
 //
 // Run honors ctx: cancellation stops dispatching new cells, interrupts
 // in-flight simulations, and returns the panels aggregated over the cells
@@ -218,8 +259,10 @@ func Run(ctx context.Context, id string, opt Options) (a, b *Figure, err error) 
 		spec = figure5()
 	case "C", "c":
 		spec = figureClustered()
+	case "F", "f":
+		spec = figureFaults()
 	default:
-		return nil, nil, fmt.Errorf("experiments: unknown figure %q (want 3, 4, 5 or C)", id)
+		return nil, nil, fmt.Errorf("experiments: unknown figure %q (want 3, 4, 5, C or F)", id)
 	}
 	return runSweep(ctx, spec, opt)
 }
@@ -346,13 +389,29 @@ func runCell(ctx context.Context, spec sweepSpec, opt Options, planner core.Plan
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(ctx, nw, k, planner, sim.Config{
+	cfg := sim.Config{
 		Duration:    opt.Duration,
 		BatchWindow: opt.BatchWindow,
 		Verify:      opt.Verify,
-	})
+	}
+	switch {
+	case spec.faults != nil:
+		cfg.Faults = spec.faults(spec.xs[c.xi], seed)
+	case opt.Faults != nil:
+		fp := *opt.Faults
+		if fp.Seed == 0 {
+			fp.Seed = seed
+		}
+		cfg.Faults = &fp
+	}
+	res, err := sim.Run(ctx, nw, k, planner, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig%s x=%v %s: %w", spec.id, spec.xs[c.xi], planner.Name(), err)
+		// A fleet lost to injected breakdowns is a valid (maximally
+		// degraded) outcome, not a cell failure: its partial metrics —
+		// with dead time accrued to the horizon — enter the figure.
+		if !(errors.Is(err, fault.ErrFleetLost) && res != nil) {
+			return nil, fmt.Errorf("experiments: fig%s x=%v %s: %w", spec.id, spec.xs[c.xi], planner.Name(), err)
+		}
 	}
 	return &cellResult{
 		point:     c,

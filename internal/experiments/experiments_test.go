@@ -60,6 +60,47 @@ func TestRunFigure3Small(t *testing.T) {
 	}
 }
 
+func TestRunFigureFaultsSmall(t *testing.T) {
+	opt := fastOpts()
+	opt.Duration = 5 * 86400
+	a, b, err := Run(context.Background(), "F", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "Fa" || b.ID != "Fb" {
+		t.Errorf("IDs = %s, %s", a.ID, b.ID)
+	}
+	if len(a.X) != 4 {
+		t.Fatalf("sweep points = %d, want 4", len(a.X))
+	}
+	if a.X[0] != 0 {
+		t.Fatalf("first x = %v, want fault-free baseline 0", a.X[0])
+	}
+	if a.Violations != 0 {
+		t.Errorf("feasibility violations under faults: %d", a.Violations)
+	}
+	for _, s := range a.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("series %s point %d: non-positive longest %v", s.Label, i, y)
+			}
+		}
+	}
+	// Reproducibility: the fault draws are keyed off the cell seed, so a
+	// second run must agree exactly.
+	a2, _, err := Run(context.Background(), "F", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for xi := range a.Series[si].Y {
+			if a.Series[si].Y[xi] != a2.Series[si].Y[xi] {
+				t.Fatalf("figure F not reproducible at series %d point %d", si, xi)
+			}
+		}
+	}
+}
+
 func TestRunDeterministicAcrossCalls(t *testing.T) {
 	opt := fastOpts()
 	opt.Duration = 5 * 86400

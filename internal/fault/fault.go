@@ -1,0 +1,269 @@
+// Package fault provides deterministic, seed-driven fault injection and
+// online recovery for the WRSN simulator: mobile charger (MCV) breakdowns
+// (permanent, and transient with bounded retry-with-backoff repair),
+// multiplicative travel- and charging-time delay noise, sensor hardware
+// churn, and charge-request bursts.
+//
+// Every stochastic draw is a pure hash of (plan seed, event kind, event
+// coordinates), never of call order or wall clock, so a run with an
+// identical Plan is byte-for-byte reproducible no matter how the simulator
+// interleaves its queries. The recovery half of the package (Truncate,
+// Redistribute) repairs a schedule after a permanent breakdown by moving
+// the broken charger's unserved stops into the surviving tours with the
+// insertion rules of the paper's Algorithm 1, preserving the
+// no-simultaneous-charging invariant.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// year is one year in seconds; churn and burst rates are "per year".
+const year = 365 * 24 * 3600.0
+
+// ErrFleetLost reports that every MCV has broken down permanently and no
+// further charging rounds can run. Simulations wrap it around a partial
+// result; test with errors.Is.
+var ErrFleetLost = errors.New("fault: entire MCV fleet lost")
+
+// ErrInvalidPlan tags every Plan validation failure; test with errors.Is.
+var ErrInvalidPlan = errors.New("fault: invalid plan")
+
+// Plan configures deterministic fault injection for one simulation run.
+// The zero value injects nothing. All probabilities are in [0, 1]; rates
+// suffixed "per year" scale with the simulated horizon.
+type Plan struct {
+	// Seed drives every stochastic draw. Runs with identical plans are
+	// identical; changing only Seed resamples every fault.
+	Seed int64 `json:"seed"`
+
+	// MCVFailRate is the per-tour probability that the charger driving it
+	// breaks down somewhere along the tour.
+	MCVFailRate float64 `json:"mcv_fail_rate,omitempty"`
+	// TransientFrac is the fraction of breakdowns that are transient
+	// (repairable in the field). The rest are permanent: the MCV is lost
+	// for the remainder of the run and its unserved stops are
+	// redistributed among the survivors.
+	TransientFrac float64 `json:"transient_frac,omitempty"`
+	// RepairTime is the base duration of one field-repair attempt in
+	// seconds; attempt i takes RepairTime * 2^(i-1) (exponential
+	// backoff). 0 means 1800 s.
+	RepairTime float64 `json:"repair_time,omitempty"`
+	// RepairSuccess is the per-attempt probability that a field repair
+	// succeeds. 0 means 0.7.
+	RepairSuccess float64 `json:"repair_success,omitempty"`
+	// MaxRetries bounds the repair attempts of a transient breakdown
+	// before it escalates to a permanent loss. 0 means 3.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// TravelNoise is the mean multiplicative excess on every travel leg:
+	// a leg takes dist/speed * (1 + TravelNoise*E) with E a unit
+	// exponential draw, modeling detours, terrain and congestion. 0
+	// disables travel noise.
+	TravelNoise float64 `json:"travel_noise,omitempty"`
+	// ChargeNoise is the analogous mean multiplicative excess on every
+	// charging sojourn (coupling losses, contention). 0 disables it.
+	ChargeNoise float64 `json:"charge_noise,omitempty"`
+
+	// SensorFailRate is the expected number of permanent hardware deaths
+	// per sensor per year (sensor churn). A failed sensor stops sensing
+	// and never requests charging again.
+	SensorFailRate float64 `json:"sensor_fail_rate,omitempty"`
+
+	// BurstRate is the expected number of charge-request bursts per year:
+	// an external event (storm, reconfiguration, query flood) that drains
+	// BurstSize random sensors by BurstDrain of their capacity at once,
+	// producing a synchronized spike of charging requests.
+	BurstRate float64 `json:"burst_rate,omitempty"`
+	// BurstSize is the number of sensors hit per burst. 0 means 10.
+	BurstSize int `json:"burst_size,omitempty"`
+	// BurstDrain is the capacity fraction each victim loses. 0 means 0.5.
+	BurstDrain float64 `json:"burst_drain,omitempty"`
+
+	// Scripted lists exact breakdowns to inject in addition to the random
+	// ones — the deterministic backbone for tests and demos.
+	Scripted []ScriptedFailure `json:"scripted,omitempty"`
+
+	// DisableRecovery drops a permanently failed MCV's unserved stops
+	// instead of redistributing them among the survivors. It exists as
+	// the no-recovery baseline for degradation studies.
+	DisableRecovery bool `json:"disable_recovery,omitempty"`
+}
+
+// ScriptedFailure is one exactly specified MCV breakdown.
+type ScriptedFailure struct {
+	// Round is the charging round (0-based) the failure strikes in.
+	Round int `json:"round"`
+	// Tour is the tour index within that round's schedule.
+	Tour int `json:"tour"`
+	// Transient makes the breakdown repairable: the MCV pauses for one
+	// RepairTime and resumes. Otherwise the MCV is lost permanently.
+	Transient bool `json:"transient,omitempty"`
+	// Frac positions the failure along the tour as a fraction of its
+	// planned delay, in [0, 1].
+	Frac float64 `json:"frac"`
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.MCVFailRate > 0 || p.TravelNoise > 0 || p.ChargeNoise > 0 ||
+		p.SensorFailRate > 0 || p.BurstRate > 0 || len(p.Scripted) > 0
+}
+
+// withDefaults fills the documented zero-value defaults.
+func (p Plan) withDefaults() Plan {
+	if p.RepairTime <= 0 {
+		p.RepairTime = 1800
+	}
+	if p.RepairSuccess <= 0 {
+		p.RepairSuccess = 0.7
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.BurstSize <= 0 {
+		p.BurstSize = 10
+	}
+	if p.BurstDrain <= 0 {
+		p.BurstDrain = 0.5
+	}
+	return p
+}
+
+// Validate reports the first structural problem with the plan, or nil.
+func (p *Plan) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidPlan, fmt.Sprintf(format, args...))
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"mcv_fail_rate", p.MCVFailRate},
+		{"transient_frac", p.TransientFrac},
+		{"repair_success", p.RepairSuccess},
+		{"burst_drain", p.BurstDrain},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return bad("%s = %v, want in [0, 1]", pr.name, pr.v)
+		}
+	}
+	nonneg := []struct {
+		name string
+		v    float64
+	}{
+		{"repair_time", p.RepairTime},
+		{"travel_noise", p.TravelNoise},
+		{"charge_noise", p.ChargeNoise},
+		{"sensor_fail_rate", p.SensorFailRate},
+		{"burst_rate", p.BurstRate},
+	}
+	for _, nn := range nonneg {
+		if nn.v < 0 || math.IsNaN(nn.v) || math.IsInf(nn.v, 0) {
+			return bad("%s = %v, want finite >= 0", nn.name, nn.v)
+		}
+	}
+	if p.MaxRetries < 0 {
+		return bad("max_retries = %d, want >= 0", p.MaxRetries)
+	}
+	if p.BurstSize < 0 {
+		return bad("burst_size = %d, want >= 0", p.BurstSize)
+	}
+	for i, s := range p.Scripted {
+		if s.Round < 0 || s.Tour < 0 {
+			return bad("scripted[%d] round/tour = %d/%d, want >= 0", i, s.Round, s.Tour)
+		}
+		if s.Frac < 0 || s.Frac > 1 || math.IsNaN(s.Frac) {
+			return bad("scripted[%d] frac = %v, want in [0, 1]", i, s.Frac)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON-encoded fault plan (the -fault-spec file of wrsn-sim)
+// and validates it.
+func Load(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: decode plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ParseSpec parses the compact comma-separated key=value fault
+// specification accepted by wrsn-sim's -faults flag, e.g.
+//
+//	mcv=0.2,transient=0.5,travel-noise=0.1,churn=2,bursts=12
+//
+// Keys: mcv (per-tour failure probability), transient (transient
+// fraction), repair (seconds), repair-success, retries, travel-noise,
+// charge-noise, churn (sensor failures per year), bursts (per year),
+// burst-size, burst-drain, no-recovery (0/1). An empty spec yields an
+// empty plan.
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q is not key=value", ErrInvalidPlan, kv)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrInvalidPlan, key, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "mcv":
+			p.MCVFailRate = f
+		case "transient":
+			p.TransientFrac = f
+		case "repair":
+			p.RepairTime = f
+		case "repair-success":
+			p.RepairSuccess = f
+		case "retries":
+			p.MaxRetries = int(f)
+		case "travel-noise":
+			p.TravelNoise = f
+		case "charge-noise":
+			p.ChargeNoise = f
+		case "churn":
+			p.SensorFailRate = f
+		case "bursts":
+			p.BurstRate = f
+		case "burst-size":
+			p.BurstSize = int(f)
+		case "burst-drain":
+			p.BurstDrain = f
+		case "no-recovery":
+			p.DisableRecovery = f != 0
+		default:
+			return nil, fmt.Errorf("%w: unknown key %q", ErrInvalidPlan, key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

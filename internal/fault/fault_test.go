@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero plan", Plan{}, true},
+		{"full plan", Plan{MCVFailRate: 0.2, TransientFrac: 0.5, RepairTime: 600,
+			RepairSuccess: 0.9, MaxRetries: 2, TravelNoise: 0.1, ChargeNoise: 0.1,
+			SensorFailRate: 2, BurstRate: 12, BurstSize: 5, BurstDrain: 0.4}, true},
+		{"rate above one", Plan{MCVFailRate: 1.5}, false},
+		{"negative rate", Plan{MCVFailRate: -0.1}, false},
+		{"negative noise", Plan{TravelNoise: -1}, false},
+		{"negative churn", Plan{SensorFailRate: -2}, false},
+		{"negative retries", Plan{MaxRetries: -1}, false},
+		{"scripted bad frac", Plan{Scripted: []ScriptedFailure{{Round: 0, Tour: 0, Frac: 2}}}, false},
+		{"scripted bad tour", Plan{Scripted: []ScriptedFailure{{Round: 0, Tour: -1, Frac: 0.5}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate() = nil, want error")
+				}
+				if !errors.Is(err, ErrInvalidPlan) {
+					t.Fatalf("Validate() = %v, want ErrInvalidPlan", err)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("mcv=0.2, transient=0.5, travel-noise=0.1, churn=2, bursts=12, no-recovery=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if p.MCVFailRate != 0.2 || p.TransientFrac != 0.5 || p.TravelNoise != 0.1 ||
+		p.SensorFailRate != 2 || p.BurstRate != 12 || !p.DisableRecovery {
+		t.Fatalf("ParseSpec parsed %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("parsed plan should be enabled")
+	}
+
+	empty, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatalf("ParseSpec(blank): %v", err)
+	}
+	if empty.Enabled() {
+		t.Fatal("blank spec should be disabled")
+	}
+
+	for _, bad := range []string{"mcv", "mcv=abc", "unknown=1", "mcv=2"} {
+		if _, err := ParseSpec(bad); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrInvalidPlan", bad, err)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	p, err := Load(strings.NewReader(`{"seed": 7, "mcv_fail_rate": 0.1, "scripted": [{"round": 0, "tour": 1, "frac": 0.5}]}`))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if p.Seed != 7 || p.MCVFailRate != 0.1 || len(p.Scripted) != 1 || p.Scripted[0].Tour != 1 {
+		t.Fatalf("Load parsed %+v", p)
+	}
+	if _, err := Load(strings.NewReader(`{"bogus_key": 1}`)); err == nil {
+		t.Fatal("Load should reject unknown fields")
+	}
+	if _, err := Load(strings.NewReader(`{"mcv_fail_rate": -1}`)); !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("Load(bad rate) = %v, want ErrInvalidPlan", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan must be disabled")
+	}
+	if (&Plan{Seed: 42}).Enabled() {
+		t.Fatal("seed alone must not enable injection")
+	}
+	if !(&Plan{ChargeNoise: 0.1}).Enabled() {
+		t.Fatal("charge noise must enable injection")
+	}
+	if !(&Plan{Scripted: []ScriptedFailure{{}}}).Enabled() {
+		t.Fatal("scripted failures must enable injection")
+	}
+}

@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"math"
+	"sort"
+)
+
+// Draw kinds. Every stochastic decision hashes (seed, kind, coordinates),
+// so draws are independent of one another and of query order — the
+// foundation of the package's same-seed-same-run guarantee.
+const (
+	kindFail uint64 = iota + 1
+	kindFailAt
+	kindTransient
+	kindRepair
+	kindTravel
+	kindCharge
+	kindSensorFail
+	kindSensorFailAt
+	kindBurstAt
+	kindBurstPick
+)
+
+// Injector answers the simulator's fault queries for one Plan. A nil
+// *Injector is valid and injects nothing; every method is a no-op (or
+// identity) on a nil receiver.
+type Injector struct {
+	plan Plan
+	// scripted indexes Plan.Scripted by (round, tour); built once so
+	// per-round lookups don't rescan the list.
+	scripted map[[2]int]ScriptedFailure
+}
+
+// New validates the plan and returns an injector for it. A nil plan
+// yields a nil (inactive) injector.
+func New(p *Plan) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ij := &Injector{plan: p.withDefaults()}
+	if len(p.Scripted) > 0 {
+		ij.scripted = make(map[[2]int]ScriptedFailure, len(p.Scripted))
+		for _, s := range p.Scripted {
+			ij.scripted[[2]int{s.Round, s.Tour}] = s
+		}
+	}
+	return ij, nil
+}
+
+// Enabled reports whether the injector can inject any fault.
+func (ij *Injector) Enabled() bool {
+	if ij == nil {
+		return false
+	}
+	return ij.plan.Enabled()
+}
+
+// RecoveryDisabled reports whether redistribution after permanent
+// breakdowns is turned off (the degradation-study baseline).
+func (ij *Injector) RecoveryDisabled() bool {
+	return ij != nil && ij.plan.DisableRecovery
+}
+
+// mix64 is the SplitMix64 finalizer — a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u01 returns a uniform draw in [0, 1) determined purely by the seed, the
+// draw kind and up to three integer coordinates.
+func (ij *Injector) u01(kind uint64, a, b, c int) float64 {
+	h := mix64(uint64(ij.plan.Seed) ^ kind*0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(int64(a))*0xff51afd7ed558ccd)
+	h = mix64(h ^ uint64(int64(b))*0xc4ceb9fe1a85ec53)
+	h = mix64(h ^ uint64(int64(c))*0x2545f4914f6cdd1d)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// excess converts a uniform draw into a unit-exponential excess, used for
+// the multiplicative delay noise: factor = 1 + sigma * excess.
+func excess(u float64) float64 { return -math.Log(1 - u) }
+
+// TravelFactor returns the multiplicative slowdown (>= 1) of the travel
+// leg between the two request nodes in the given round; use -1 for the
+// depot. Keyed by endpoints rather than position in the tour, the factor
+// survives stop reinsertion unchanged.
+func (ij *Injector) TravelFactor(round, from, to int) float64 {
+	if ij == nil || ij.plan.TravelNoise <= 0 {
+		return 1
+	}
+	return 1 + ij.plan.TravelNoise*excess(ij.u01(kindTravel, round, from, to))
+}
+
+// ChargeFactor returns the multiplicative slowdown (>= 1) of the charging
+// sojourn at the given request node in the given round.
+func (ij *Injector) ChargeFactor(round, node int) float64 {
+	if ij == nil || ij.plan.ChargeNoise <= 0 {
+		return 1
+	}
+	return 1 + ij.plan.ChargeNoise*excess(ij.u01(kindCharge, round, node, 0))
+}
+
+// Failure is one resolved MCV breakdown.
+type Failure struct {
+	// At is the failure time as an offset from the tour's dispatch, in
+	// seconds.
+	At float64
+	// Transient reports a successful field repair: the MCV pauses for
+	// Delay seconds at the failure point and resumes. False means the
+	// MCV is permanently lost (either drawn permanent outright, or a
+	// transient breakdown whose repairs all failed and escalated).
+	Transient bool
+	// Delay is the total repair time spent, including failed attempts.
+	Delay float64
+	// Retries is the number of repair attempts made.
+	Retries int
+}
+
+// TourFailure decides whether the MCV driving the given tour breaks down
+// this round, resolving transient repairs (bounded retry with exponential
+// backoff) down to a final outcome. plannedDelay is the tour's planned
+// total delay; the failure strikes at a uniform fraction of it.
+func (ij *Injector) TourFailure(round, tour int, plannedDelay float64) (Failure, bool) {
+	if ij == nil || plannedDelay <= 0 {
+		return Failure{}, false
+	}
+	if s, ok := ij.scripted[[2]int{round, tour}]; ok {
+		f := Failure{At: s.Frac * plannedDelay}
+		if s.Transient {
+			// Scripted transients repair deterministically in one
+			// attempt, so tests control the exact recovery path.
+			f.Transient, f.Delay, f.Retries = true, ij.plan.RepairTime, 1
+		}
+		return f, true
+	}
+	if ij.plan.MCVFailRate <= 0 || ij.u01(kindFail, round, tour, 0) >= ij.plan.MCVFailRate {
+		return Failure{}, false
+	}
+	f := Failure{At: ij.u01(kindFailAt, round, tour, 0) * plannedDelay}
+	if ij.u01(kindTransient, round, tour, 0) < ij.plan.TransientFrac {
+		f.Delay, f.Retries, f.Transient = ij.resolveRepair(round, tour)
+	}
+	return f, true
+}
+
+// resolveRepair runs the bounded retry-with-backoff loop: attempt i costs
+// RepairTime * 2^(i-1); the first success ends the outage, and exhausting
+// MaxRetries escalates the breakdown to permanent.
+func (ij *Injector) resolveRepair(round, tour int) (delay float64, retries int, repaired bool) {
+	for attempt := 1; attempt <= ij.plan.MaxRetries; attempt++ {
+		delay += ij.plan.RepairTime * float64(int64(1)<<uint(attempt-1))
+		retries = attempt
+		if ij.u01(kindRepair, round, tour, attempt) < ij.plan.RepairSuccess {
+			return delay, retries, true
+		}
+	}
+	return delay, retries, false
+}
+
+// SensorDeath is one permanent sensor hardware failure.
+type SensorDeath struct {
+	Sensor int
+	At     float64
+}
+
+// SensorDeaths returns the hardware churn events over the horizon for n
+// sensors, sorted by time. Each sensor independently fails with
+// probability min(1, SensorFailRate * horizon/year) at a uniform time.
+func (ij *Injector) SensorDeaths(horizon float64, n int) []SensorDeath {
+	if ij == nil || ij.plan.SensorFailRate <= 0 || horizon <= 0 {
+		return nil
+	}
+	prob := ij.plan.SensorFailRate * horizon / year
+	if prob > 1 {
+		prob = 1
+	}
+	var out []SensorDeath
+	for i := 0; i < n; i++ {
+		if ij.u01(kindSensorFail, i, 0, 0) < prob {
+			out = append(out, SensorDeath{Sensor: i, At: ij.u01(kindSensorFailAt, i, 0, 0) * horizon})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Burst is one charge-request burst: Victims lose Drain of their capacity
+// at time At.
+type Burst struct {
+	At      float64
+	Victims []int
+	Drain   float64
+}
+
+// Bursts returns the request bursts over the horizon for n sensors,
+// sorted by time. The burst count is the rounded expectation
+// BurstRate * horizon/year; victims are drawn without replacement.
+func (ij *Injector) Bursts(horizon float64, n int) []Burst {
+	if ij == nil || ij.plan.BurstRate <= 0 || horizon <= 0 || n == 0 {
+		return nil
+	}
+	count := int(ij.plan.BurstRate*horizon/year + 0.5)
+	out := make([]Burst, 0, count)
+	for i := 0; i < count; i++ {
+		b := Burst{At: ij.u01(kindBurstAt, i, 0, 0) * horizon, Drain: ij.plan.BurstDrain}
+		seen := make(map[int]bool, ij.plan.BurstSize)
+		for j := 0; len(b.Victims) < ij.plan.BurstSize && j < 4*ij.plan.BurstSize; j++ {
+			v := int(ij.u01(kindBurstPick, i, j, 0) * float64(n))
+			if v >= n {
+				v = n - 1
+			}
+			if !seen[v] {
+				seen[v] = true
+				b.Victims = append(b.Victims, v)
+			}
+		}
+		sort.Ints(b.Victims)
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func mustInjector(t *testing.T, p *Plan) *Injector {
+	t.Helper()
+	ij, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ij
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var ij *Injector
+	if ij.Enabled() || ij.RecoveryDisabled() {
+		t.Fatal("nil injector must be inactive")
+	}
+	if f := ij.TravelFactor(0, -1, 3); f != 1 {
+		t.Fatalf("TravelFactor = %v, want 1", f)
+	}
+	if f := ij.ChargeFactor(0, 3); f != 1 {
+		t.Fatalf("ChargeFactor = %v, want 1", f)
+	}
+	if _, ok := ij.TourFailure(0, 0, 1000); ok {
+		t.Fatal("nil injector must not fail tours")
+	}
+	if ds := ij.SensorDeaths(1e6, 10); ds != nil {
+		t.Fatalf("SensorDeaths = %v, want nil", ds)
+	}
+	if bs := ij.Bursts(1e6, 10); bs != nil {
+		t.Fatalf("Bursts = %v, want nil", bs)
+	}
+	ijNil, err := New(nil)
+	if err != nil || ijNil != nil {
+		t.Fatalf("New(nil) = %v, %v, want nil, nil", ijNil, err)
+	}
+}
+
+func TestDrawsAreDeterministicAndOrderFree(t *testing.T) {
+	plan := &Plan{Seed: 11, MCVFailRate: 0.5, TransientFrac: 0.5,
+		TravelNoise: 0.2, ChargeNoise: 0.2, SensorFailRate: 5, BurstRate: 10}
+	a := mustInjector(t, plan)
+	b := mustInjector(t, plan)
+
+	// Query b in a different order than a; every answer must agree.
+	bTravel := b.TravelFactor(3, 1, 2)
+	bCharge := b.ChargeFactor(2, 7)
+	if got := a.ChargeFactor(2, 7); got != bCharge {
+		t.Fatalf("ChargeFactor differs across query orders: %v vs %v", got, bCharge)
+	}
+	if got := a.TravelFactor(3, 1, 2); got != bTravel {
+		t.Fatalf("TravelFactor differs across query orders: %v vs %v", got, bTravel)
+	}
+	fa, oka := a.TourFailure(4, 1, 5000)
+	fb, okb := b.TourFailure(4, 1, 5000)
+	if oka != okb || fa != fb {
+		t.Fatalf("TourFailure differs: %+v/%v vs %+v/%v", fa, oka, fb, okb)
+	}
+	da, db := a.SensorDeaths(1e7, 50), b.SensorDeaths(1e7, 50)
+	if len(da) != len(db) {
+		t.Fatalf("SensorDeaths length differs: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("SensorDeaths[%d] differs: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+
+	// A different seed must actually resample.
+	other := mustInjector(t, &Plan{Seed: 12, TravelNoise: 0.2})
+	if other.TravelFactor(3, 1, 2) == bTravel {
+		t.Fatal("different seeds produced identical travel factor")
+	}
+}
+
+func TestNoiseFactors(t *testing.T) {
+	ij := mustInjector(t, &Plan{Seed: 3, TravelNoise: 0.3, ChargeNoise: 0.2})
+	for r := 0; r < 20; r++ {
+		if f := ij.TravelFactor(r, -1, r%5); f < 1 || math.IsInf(f, 0) || math.IsNaN(f) {
+			t.Fatalf("TravelFactor(%d) = %v, want finite >= 1", r, f)
+		}
+		if f := ij.ChargeFactor(r, r%5); f < 1 || math.IsInf(f, 0) || math.IsNaN(f) {
+			t.Fatalf("ChargeFactor(%d) = %v, want finite >= 1", r, f)
+		}
+	}
+	// Zero sigma means exactly no noise.
+	quiet := mustInjector(t, &Plan{Seed: 3, MCVFailRate: 0.1})
+	if f := quiet.TravelFactor(0, 0, 1); f != 1 {
+		t.Fatalf("TravelFactor without noise = %v, want exactly 1", f)
+	}
+}
+
+func TestScriptedFailures(t *testing.T) {
+	ij := mustInjector(t, &Plan{
+		Seed:       1,
+		RepairTime: 900,
+		Scripted: []ScriptedFailure{
+			{Round: 2, Tour: 1, Frac: 0.25},
+			{Round: 3, Tour: 0, Transient: true, Frac: 0.5},
+		},
+	})
+	f, ok := ij.TourFailure(2, 1, 4000)
+	if !ok || f.Transient || f.At != 1000 {
+		t.Fatalf("scripted permanent = %+v/%v, want At=1000 permanent", f, ok)
+	}
+	f, ok = ij.TourFailure(3, 0, 4000)
+	if !ok || !f.Transient || f.At != 2000 || f.Delay != 900 || f.Retries != 1 {
+		t.Fatalf("scripted transient = %+v/%v, want At=2000 Delay=900", f, ok)
+	}
+	if _, ok := ij.TourFailure(0, 0, 4000); ok {
+		t.Fatal("unscripted round must not fail at zero rate")
+	}
+	if _, ok := ij.TourFailure(2, 1, 0); ok {
+		t.Fatal("a zero-delay tour cannot fail")
+	}
+}
+
+func TestRepairEscalation(t *testing.T) {
+	// RepairSuccess so small every attempt fails: transient draws must
+	// escalate to permanent with full backoff accounting.
+	ij := mustInjector(t, &Plan{Seed: 5, MCVFailRate: 1, TransientFrac: 1,
+		RepairTime: 100, RepairSuccess: 1e-12, MaxRetries: 3})
+	f, ok := ij.TourFailure(0, 0, 1000)
+	if !ok {
+		t.Fatal("rate 1 must fail")
+	}
+	if f.Transient {
+		t.Fatal("exhausted repairs must escalate to permanent")
+	}
+	if f.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", f.Retries)
+	}
+	if want := 100.0 + 200 + 400; f.Delay != want {
+		t.Fatalf("Delay = %v, want %v (exponential backoff)", f.Delay, want)
+	}
+
+	// RepairSuccess ~1: first attempt succeeds.
+	ez := mustInjector(t, &Plan{Seed: 5, MCVFailRate: 1, TransientFrac: 1,
+		RepairTime: 100, RepairSuccess: 1 - 1e-12, MaxRetries: 3})
+	f, _ = ez.TourFailure(0, 0, 1000)
+	if !f.Transient || f.Retries != 1 || f.Delay != 100 {
+		t.Fatalf("easy repair = %+v, want transient after 1 attempt", f)
+	}
+}
+
+func TestSensorDeathsAndBursts(t *testing.T) {
+	ij := mustInjector(t, &Plan{Seed: 9, SensorFailRate: 1, BurstRate: 4, BurstSize: 3, BurstDrain: 0.25})
+	horizon := year // rate 1/year over a year: each sensor fails with prob ~1
+	deaths := ij.SensorDeaths(horizon, 40)
+	if len(deaths) != 40 {
+		t.Fatalf("expected every sensor to die at prob 1, got %d/40", len(deaths))
+	}
+	for i, d := range deaths {
+		if d.At < 0 || d.At > horizon {
+			t.Fatalf("death %d at %v outside horizon", i, d.At)
+		}
+		if i > 0 && deaths[i-1].At > d.At {
+			t.Fatal("deaths must be sorted by time")
+		}
+	}
+
+	bursts := ij.Bursts(horizon, 40)
+	if len(bursts) != 4 {
+		t.Fatalf("Bursts = %d events, want 4", len(bursts))
+	}
+	for _, b := range bursts {
+		if b.At < 0 || b.At > horizon || b.Drain != 0.25 {
+			t.Fatalf("burst %+v malformed", b)
+		}
+		if len(b.Victims) == 0 || len(b.Victims) > 3 {
+			t.Fatalf("burst has %d victims, want 1..3", len(b.Victims))
+		}
+		seen := map[int]bool{}
+		for _, v := range b.Victims {
+			if v < 0 || v >= 40 || seen[v] {
+				t.Fatalf("bad victim set %v", b.Victims)
+			}
+			seen[v] = true
+		}
+	}
+
+	if ds := ij.SensorDeaths(0, 40); ds != nil {
+		t.Fatalf("zero horizon must yield no deaths, got %v", ds)
+	}
+}

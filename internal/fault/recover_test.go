@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// recoverInstance builds a 4-request instance: r0 and r1 are a
+// conflicting pair (overlapping coverage disks), r2 sits on the far side
+// of the depot, r3 far beyond r0.
+func recoverInstance() *core.Instance {
+	return &core.Instance{
+		Depot: geom.Pt(0, 0),
+		Gamma: 1,
+		Speed: 1,
+		K:     2,
+		Requests: []core.Request{
+			{Pos: geom.Pt(10, 0), Duration: 100, Lifetime: 1e6},
+			{Pos: geom.Pt(10, 0.5), Duration: 100, Lifetime: 1e6},
+			{Pos: geom.Pt(-10, 0), Duration: 100, Lifetime: 1e6},
+			{Pos: geom.Pt(30, 0), Duration: 100, Lifetime: 1e6},
+		},
+	}
+}
+
+// recoverSchedule pairs the instance with a 2-tour schedule: tour 0 (the
+// one that will break) serves r0 then r3, tour 1 serves r1 then r2.
+func recoverSchedule(in *core.Instance) *core.Schedule {
+	s := &core.Schedule{Tours: []core.Tour{
+		{Stops: []core.Stop{
+			{Node: 0, Duration: 100, Covers: []int{0}},
+			{Node: 3, Duration: 100, Covers: []int{3}},
+		}},
+		{Stops: []core.Stop{
+			{Node: 1, Duration: 100, Covers: []int{1}},
+			{Node: 2, Duration: 100, Covers: []int{2}},
+		}},
+	}}
+	core.Finalize(in, s)
+	return s
+}
+
+func coveredSet(s *core.Schedule) map[int]int {
+	got := map[int]int{}
+	for _, t := range s.Tours {
+		for _, st := range t.Stops {
+			for _, c := range st.Covers {
+				got[c]++
+			}
+		}
+	}
+	return got
+}
+
+func TestTruncate(t *testing.T) {
+	in := recoverInstance()
+	s := recoverSchedule(in)
+	tour := &s.Tours[0]
+	firstFinish := tour.Stops[0].Finish()
+
+	// Cut after the first stop finished: one orphan.
+	orphans := Truncate(tour, firstFinish+1)
+	if len(orphans) != 1 || orphans[0].Node != 3 {
+		t.Fatalf("orphans = %+v, want just node 3", orphans)
+	}
+	if len(tour.Stops) != 1 || tour.Stops[0].Node != 0 {
+		t.Fatalf("kept stops = %+v, want just node 0", tour.Stops)
+	}
+
+	// Cut before anything finished: everything orphaned.
+	s2 := recoverSchedule(in)
+	orphans = Truncate(&s2.Tours[0], 1)
+	if len(orphans) != 2 || len(s2.Tours[0].Stops) != 0 {
+		t.Fatalf("early cut: orphans=%d kept=%d, want 2/0", len(orphans), len(s2.Tours[0].Stops))
+	}
+
+	// Cut after the whole tour: nothing orphaned.
+	s3 := recoverSchedule(in)
+	if orphans = Truncate(&s3.Tours[0], 1e9); orphans != nil {
+		t.Fatalf("late cut: orphans = %+v, want nil", orphans)
+	}
+}
+
+func TestRedistributeCases(t *testing.T) {
+	in := recoverInstance()
+	s := recoverSchedule(in)
+	dead := map[int]bool{0: true}
+	orphans := Truncate(&s.Tours[0], 1) // both stops orphaned
+
+	n := Redistribute(in, s, dead, nil, orphans)
+	if n != 2 {
+		t.Fatalf("Redistribute = %d, want 2", n)
+	}
+	// Every request is still covered exactly once.
+	got := coveredSet(s)
+	for r := 0; r < 4; r++ {
+		if got[r] != 1 {
+			t.Fatalf("request %d covered %d times after redistribution: %+v", r, got[r], got)
+		}
+	}
+	// The dead tour received nothing.
+	if len(s.Tours[0].Stops) != 0 {
+		t.Fatalf("dead tour grew stops: %+v", s.Tours[0].Stops)
+	}
+	// Case (i): r0 conflicts with r1, so it lands directly after r1's stop.
+	surv := s.Tours[1].Stops
+	for i, st := range surv {
+		if st.Node == 0 {
+			if i == 0 || surv[i-1].Node != 1 {
+				t.Fatalf("conflicting orphan r0 not after r1: tour order %+v", nodeOrder(surv))
+			}
+		}
+	}
+	// Times were refreshed: strictly increasing arrivals, positive delay.
+	for i := 1; i < len(surv); i++ {
+		if surv[i].Arrive < surv[i-1].Finish() {
+			t.Fatalf("stale times after redistribution: %+v", surv)
+		}
+	}
+	if s.Longest <= 0 || s.Tours[1].Delay != s.Longest {
+		t.Fatalf("Longest not refreshed: longest=%v tours=%+v", s.Longest, s.Tours)
+	}
+	// The repaired schedule passes the feasibility verifier (one dead
+	// empty tour is fine: Verify checks coverage and timing, and the
+	// conflicting pair was serialized onto one charger).
+	if vs := core.Verify(in, s); len(vs) != 0 {
+		t.Fatalf("verifier rejects repaired schedule: %v", vs)
+	}
+}
+
+func TestRedistributeRespectsFrozenPrefix(t *testing.T) {
+	in := recoverInstance()
+	s := recoverSchedule(in)
+	dead := map[int]bool{0: true}
+	orphans := Truncate(&s.Tours[0], 1)
+
+	// Freeze the surviving tour entirely: orphans may only append.
+	frozen := []int{0, 2}
+	before := nodeOrder(s.Tours[1].Stops)
+	Redistribute(in, s, dead, frozen, orphans)
+	after := nodeOrder(s.Tours[1].Stops)
+	for i, n := range before {
+		if after[i] != n {
+			t.Fatalf("frozen prefix reordered: %v -> %v", before, after)
+		}
+	}
+	if len(after) != 4 {
+		t.Fatalf("appended stops missing: %v", after)
+	}
+}
+
+func TestRedistributeNoSurvivors(t *testing.T) {
+	in := recoverInstance()
+	s := recoverSchedule(in)
+	dead := map[int]bool{0: true, 1: true}
+	orphans := Truncate(&s.Tours[0], 1)
+	if n := Redistribute(in, s, dead, nil, orphans); n != 0 {
+		t.Fatalf("Redistribute with no survivors = %d, want 0", n)
+	}
+	if n := Redistribute(in, s, map[int]bool{0: true}, nil, nil); n != 0 {
+		t.Fatalf("Redistribute with no orphans = %d, want 0", n)
+	}
+}
+
+func nodeOrder(stops []core.Stop) []int {
+	out := make([]int, len(stops))
+	for i, st := range stops {
+		out[i] = st.Node
+	}
+	return out
+}

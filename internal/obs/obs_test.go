@@ -24,6 +24,51 @@ func TestNilTracerIsNoOp(t *testing.T) {
 	}
 }
 
+func TestNilSafetyTable(t *testing.T) {
+	// Every tracer entry point must be callable through a nil receiver:
+	// the simulator and planners trace unconditionally and rely on the
+	// nil tracer being free.
+	var tr *Tracer
+	cases := []struct {
+		name string
+		call func(t *testing.T)
+	}{
+		{"Start/End", func(t *testing.T) { tr.Start("x").End() }},
+		{"zero Span End", func(t *testing.T) { Span{}.End() }},
+		{"Observe", func(t *testing.T) { tr.Observe("x", time.Second) }},
+		{"Add", func(t *testing.T) { tr.Add("c", 3) }},
+		{"Add negative", func(t *testing.T) { tr.Add("c", -1) }},
+		{"Report", func(t *testing.T) {
+			if got := tr.Report(); len(got.Stages) != 0 || got.Counters != nil {
+				t.Errorf("nil Report = %+v, want zero", got)
+			}
+		}},
+		{"StageSeconds", func(t *testing.T) {
+			if s := tr.StageSeconds("x"); s != 0 {
+				t.Errorf("nil StageSeconds = %v, want 0", s)
+			}
+		}},
+		{"WriteJSON", func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Errorf("nil WriteJSON: %v", err)
+			}
+			var r Report
+			if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+				t.Errorf("nil WriteJSON output invalid: %v", err)
+			}
+		}},
+		{"nil Progress Emit", func(t *testing.T) {
+			var p *Progress
+			p.Emit("dropped %d", 1)
+		}},
+		{"nil fn Progress Emit", func(t *testing.T) { NewProgress(nil).Emit("dropped") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.call) // any panic fails the subtest
+	}
+}
+
 func TestFromContextDefaultsToNil(t *testing.T) {
 	if tr := FromContext(context.Background()); tr != nil {
 		t.Fatalf("FromContext(background) = %v, want nil", tr)

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/wrsn"
+)
+
+// faultNetwork hand-builds a tiny two-cluster network whose geometry the
+// degradation tests can reason about exactly: six sensors in two tight
+// clusters on opposite sides of the depot, all starting below the request
+// threshold (residual 150 of 1000, threshold 20%), each with a manually
+// pinned draw giving ~15000 s of remaining lifetime. An unserved cluster
+// therefore dies well inside a one-day horizon; a served one survives it.
+func faultNetwork(t *testing.T) *wrsn.Network {
+	t.Helper()
+	nw := &wrsn.Network{
+		Field:      geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)},
+		Base:       geom.Pt(50, 50),
+		Depot:      geom.Pt(50, 50),
+		TxRange:    200,
+		Gamma:      2.7,
+		ChargeRate: 2,
+		Speed:      10,
+		Radio:      energy.DefaultRadio(),
+	}
+	positions := []geom.Point{
+		geom.Pt(10, 50), geom.Pt(11, 50), geom.Pt(10, 51),
+		geom.Pt(90, 50), geom.Pt(89, 50), geom.Pt(90, 49),
+	}
+	for i, p := range positions {
+		nw.Sensors = append(nw.Sensors, wrsn.Sensor{
+			ID: i, Pos: p, Parent: -1, Draw: 0.01,
+			Battery: energy.Battery{Capacity: 1000, Residual: 150},
+		})
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("hand-built network invalid: %v", err)
+	}
+	return nw
+}
+
+// oneRound is the degradation scenario: a single round over one day, the
+// MCV driving tour 0 breaking down almost immediately (5% into its tour).
+func oneRound(disableRecovery bool) Config {
+	return Config{
+		Duration:  86400,
+		MaxRounds: 1,
+		MinSlack:  -1,
+		Verify:    true,
+		Faults: &fault.Plan{
+			Seed:            1,
+			Scripted:        []fault.ScriptedFailure{{Round: 0, Tour: 0, Frac: 0.05}},
+			DisableRecovery: disableRecovery,
+		},
+	}
+}
+
+func TestRecoveryBeatsNoRecovery(t *testing.T) {
+	rec, err := Run(context.Background(), faultNetwork(t), 2, core.ApproPlanner{}, oneRound(false))
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if rec.Faults == nil {
+		t.Fatal("fault stats missing from fault run")
+	}
+	if rec.Faults.Permanent != 1 || rec.Faults.SurvivingMCVs != 1 {
+		t.Fatalf("expected one permanent loss leaving one MCV: %+v", rec.Faults)
+	}
+	if rec.Faults.Redistributed == 0 {
+		t.Fatalf("recovery run redistributed nothing: %+v", rec.Faults)
+	}
+	if rec.Violations != 0 {
+		t.Fatalf("repaired schedule has %d violations, first: %s", rec.Violations, rec.FirstViolation)
+	}
+	if rec.DeadSensors != 0 {
+		t.Fatalf("recovery run lost %d sensors, want 0", rec.DeadSensors)
+	}
+
+	bare, err := Run(context.Background(), faultNetwork(t), 2, core.ApproPlanner{}, oneRound(true))
+	if err != nil {
+		t.Fatalf("no-recovery run: %v", err)
+	}
+	if bare.Faults.Unserved == 0 {
+		t.Fatalf("no-recovery run dropped nothing: %+v", bare.Faults)
+	}
+	if bare.DeadSensors == 0 {
+		t.Fatal("no-recovery baseline lost no sensors; scenario is not discriminating")
+	}
+	if rec.DeadSensors >= bare.DeadSensors {
+		t.Fatalf("recovery (%d dead) not strictly better than baseline (%d dead)",
+			rec.DeadSensors, bare.DeadSensors)
+	}
+	if rec.Charges <= bare.Charges {
+		t.Fatalf("recovery served %d charges, baseline %d; expected more under recovery",
+			rec.Charges, bare.Charges)
+	}
+}
+
+func TestFleetLossDegradesGracefully(t *testing.T) {
+	cfg := oneRound(false)
+	res, err := Run(context.Background(), faultNetwork(t), 1, core.ApproPlanner{}, cfg)
+	if !errors.Is(err, fault.ErrFleetLost) {
+		t.Fatalf("err = %v, want ErrFleetLost", err)
+	}
+	if res == nil {
+		t.Fatal("fleet loss must still return the partial result")
+	}
+	if res.Faults.SurvivingMCVs != 0 {
+		t.Fatalf("SurvivingMCVs = %d, want 0", res.Faults.SurvivingMCVs)
+	}
+	if res.End != cfg.Duration {
+		t.Fatalf("books closed at %v, want the full horizon %v", res.End, cfg.Duration)
+	}
+	if res.DeadSensors == 0 {
+		t.Fatal("a lost fleet over a day should strand sensors")
+	}
+}
+
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	nw := smallNetwork(t, 40, 9)
+	plan := &fault.Plan{
+		Seed: 77, MCVFailRate: 0.3, TransientFrac: 0.5,
+		TravelNoise: 0.1, ChargeNoise: 0.1,
+		SensorFailRate: 1, BurstRate: 12, BurstSize: 4,
+	}
+	run := func() []byte {
+		res, err := Run(context.Background(), smallNetwork(t, 40, 9), 2, core.ApproPlanner{},
+			Config{Duration: 60 * 86400, BatchWindow: DefaultBatchWindow, Verify: true, Faults: plan})
+		if err != nil && !errors.Is(err, fault.ErrFleetLost) {
+			t.Fatalf("fault run: %v", err)
+		}
+		if res.Violations != 0 {
+			t.Fatalf("fault run has %d violations, first: %s", res.Violations, res.FirstViolation)
+		}
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different results:\n%s\n%s", a, b)
+	}
+
+	// A different seed must resample the fault trajectory.
+	plan2 := *plan
+	plan2.Seed = 78
+	res2, err := Run(context.Background(), nw, 2, core.ApproPlanner{},
+		Config{Duration: 60 * 86400, BatchWindow: DefaultBatchWindow, Verify: true, Faults: &plan2})
+	if err != nil && !errors.Is(err, fault.ErrFleetLost) {
+		t.Fatalf("fault run: %v", err)
+	}
+	b2, _ := json.Marshal(res2)
+	if string(a) == string(b2) {
+		t.Fatal("different fault seeds produced identical results")
+	}
+}
+
+func TestDelayNoiseInflatesButStaysFeasible(t *testing.T) {
+	nw := smallNetwork(t, 60, 10)
+	quiet, err := Run(context.Background(), nw, 2, core.ApproPlanner{},
+		Config{Duration: 30 * 86400, BatchWindow: DefaultBatchWindow, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Run(context.Background(), smallNetwork(t, 60, 10), 2, core.ApproPlanner{},
+		Config{Duration: 30 * 86400, BatchWindow: DefaultBatchWindow, Verify: true,
+			Faults: &fault.Plan{Seed: 5, TravelNoise: 0.2, ChargeNoise: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Violations != 0 {
+		t.Fatalf("noisy run has %d violations, first: %s", noisy.Violations, noisy.FirstViolation)
+	}
+	if got := noisy.Faults.DelayInflation(); got <= 1 {
+		t.Fatalf("DelayInflation = %v, want > 1 under positive noise", got)
+	}
+	if noisy.AvgLongest <= quiet.AvgLongest {
+		t.Fatalf("noisy AvgLongest %v <= quiet %v", noisy.AvgLongest, quiet.AvgLongest)
+	}
+	// Fault-free twin accounting: the planned sums track the noise-free run.
+	if noisy.Faults.PlannedLongestSum <= 0 || noisy.Faults.ActualLongestSum < noisy.Faults.PlannedLongestSum {
+		t.Fatalf("inconsistent twin sums: %+v", noisy.Faults)
+	}
+}
+
+func TestIndependentDispatchUnderFaults(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 21, MCVFailRate: 0.2, TransientFrac: 0.5,
+		TravelNoise: 0.1, ChargeNoise: 0.1,
+	}
+	run := func() *Result {
+		res, err := Run(context.Background(), smallNetwork(t, 60, 11), 3, core.ApproPlanner{},
+			Config{Duration: 60 * 86400, BatchWindow: DefaultBatchWindow,
+				Dispatch: DispatchIndependent, Verify: true, Faults: plan})
+		if err != nil && !errors.Is(err, fault.ErrFleetLost) {
+			t.Fatalf("independent fault run: %v", err)
+		}
+		return res
+	}
+	res := run()
+	if res.Violations != 0 {
+		t.Fatalf("independent fault run has %d violations, first: %s", res.Violations, res.FirstViolation)
+	}
+	if res.Faults == nil || res.Faults.MCVFailures == 0 {
+		t.Fatalf("expected breakdowns at rate 0.2 over 60 days: %+v", res.Faults)
+	}
+	if res.Faults.SurvivingMCVs+res.Faults.Permanent != 3 {
+		t.Fatalf("fleet bookkeeping inconsistent: %+v", res.Faults)
+	}
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(run())
+	if string(a) != string(b) {
+		t.Fatal("independent fault runs are not deterministic")
+	}
+}
+
+func TestWorldEventsReachTheBooks(t *testing.T) {
+	res, err := Run(context.Background(), smallNetwork(t, 50, 12), 2, core.ApproPlanner{},
+		Config{Duration: 90 * 86400, BatchWindow: DefaultBatchWindow, Verify: true,
+			Faults: &fault.Plan{Seed: 33, SensorFailRate: 2, BurstRate: 20, BurstSize: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.SensorFailures == 0 {
+		t.Fatalf("churn at 2/year over 90 days injected nothing: %+v", res.Faults)
+	}
+	if res.Faults.Bursts == 0 {
+		t.Fatalf("bursts at 20/year over 90 days injected nothing: %+v", res.Faults)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("world-event run has %d violations, first: %s", res.Violations, res.FirstViolation)
+	}
+}
+
+func TestFaultStatsNilSafety(t *testing.T) {
+	var fs *FaultStats
+	if got := fs.DelayInflation(); got != 1 {
+		t.Fatalf("nil DelayInflation = %v, want 1", got)
+	}
+	if got := (&FaultStats{}).DelayInflation(); got != 1 {
+		t.Fatalf("zero DelayInflation = %v, want 1", got)
+	}
+	if got := (&FaultStats{PlannedLongestSum: 100, ActualLongestSum: 150}).DelayInflation(); got != 1.5 {
+		t.Fatalf("DelayInflation = %v, want 1.5", got)
+	}
+}
+
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	nw := smallNetwork(t, 10, 13)
+	_, err := Run(context.Background(), nw, 1, core.ApproPlanner{},
+		Config{Duration: 86400, Faults: &fault.Plan{MCVFailRate: 2}})
+	if !errors.Is(err, fault.ErrInvalidPlan) {
+		t.Fatalf("err = %v, want ErrInvalidPlan", err)
+	}
+}

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -54,10 +56,15 @@ type interval struct {
 
 // runIndependent is the DispatchIndependent main loop. It mirrors Run's
 // bookkeeping — including the partial-result-on-cancellation contract —
-// but drives each charger separately.
+// but drives each charger separately. Under a fault plan each dispatch
+// draws its own breakdown and delay noise: a transient breakdown pauses
+// the charger in place for the repair time, while a permanent one kills
+// it mid-tour — its remaining requests simply stay pending and are picked
+// up by the next free charger (independent dispatch's natural form of
+// redistribution).
 func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg Config,
-	states []sensorState, targets []float64) (*Result, error) {
-	res := &Result{Planner: planner.Name()}
+	states []sensorState, targets []float64, inj *fault.Injector, world *faultWorld, fstats *FaultStats) (*Result, error) {
+	res := &Result{Planner: planner.Name(), Faults: fstats}
 	tr := obs.FromContext(ctx)
 	var longestAcc stats.Accumulator
 	var runErr error
@@ -65,8 +72,11 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 
 	free := make([]float64, k)         // when each charger is next at the depot
 	lastDispatch := make([]float64, k) // when each charger last left
+	alive := make([]bool, k)           // false once permanently broken down
+	aliveCount := k
 	for i := range lastDispatch {
 		lastDispatch[i] = math.Inf(-1)
+		alive[i] = true
 	}
 	var committed []interval
 	// Under Verify, every interval ever committed is retained for a
@@ -89,12 +99,21 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 		if cfg.MaxRounds > 0 && len(res.Rounds) >= cfg.MaxRounds {
 			break
 		}
+		if aliveCount == 0 {
+			// Every MCV is permanently lost; dead time accrues to the
+			// configured horizon when the books close below.
+			runErr = fmt.Errorf("sim: t=%.0f: %w", cancelledAt, fault.ErrFleetLost)
+			break
+		}
 		// The next charger to act, by effective dispatch time (return
 		// time or its own batching-window gate, whichever is later).
 		// Selecting by effective time keeps dispatches in chronological
 		// order, which is what lets a new tour treat all previously
-		// committed intervals as final.
+		// committed intervals as final. Dead chargers never act.
 		effective := func(j int) float64 {
+			if !alive[j] {
+				return math.Inf(1)
+			}
 			e := free[j]
 			if gate := lastDispatch[j] + cfg.BatchWindow; gate > e {
 				e = gate
@@ -112,9 +131,13 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 		if now >= cfg.Duration {
 			break
 		}
+		world.advance(now, states, targets)
 		pending := pendingRequests(states, targets, now)
 		if len(pending) == 0 {
 			next := nextRequestTime(states, targets, now)
+			if wn := world.next(); wn+1e-6 < next {
+				next = wn + 1e-6
+			}
 			if math.IsInf(next, 1) || next >= cfg.Duration {
 				break
 			}
@@ -133,10 +156,18 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 		// depot, so concurrent tours only meet near the depot; when a
 		// charger's own sector is empty it helps out with the whole
 		// backlog (conflict waits then handle the rare encounters).
-		if k > 1 {
+		if aliveCount > 1 {
+			// Sectors are carved among the surviving chargers only, so a
+			// breakdown's territory is inherited instead of orphaned.
+			aliveIdx := 0
+			for j := 0; j < ch; j++ {
+				if alive[j] {
+					aliveIdx++
+				}
+			}
 			var mine []int
 			for _, id := range pending {
-				if sectorOf(nw.Depot, nw.Sensors[id].Pos, k) == ch {
+				if sectorOf(nw.Depot, nw.Sensors[id].Pos, aliveCount) == aliveIdx {
 					mine = append(mine, id)
 				}
 			}
@@ -157,7 +188,11 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 		}
 		if cfg.Verify {
 			sp := tr.Start(obs.StageVerify)
-			res.Violations += len(verifySchedule(inst, sched))
+			vs := verifySchedule(inst, sched)
+			res.Violations += len(vs)
+			if res.FirstViolation == "" && len(vs) > 0 {
+				res.FirstViolation = vs[0].String()
+			}
 			sp.End()
 		}
 		tour := flattenTours(sched)
@@ -165,17 +200,52 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 			return nil, fmt.Errorf("sim: planner %s returned no stops for %d requests", planner.Name(), len(pending))
 		}
 
+		// Draw this dispatch's breakdown, if any, against the planned
+		// tour delay. Rounds are globally ordered, so (round, charger)
+		// uniquely keys the draw.
+		round := len(res.Rounds)
+		var brk fault.Failure
+		broken := false
+		if inj != nil {
+			brk, broken = inj.TourFailure(round, ch, sched.Longest)
+			if broken {
+				fstats.MCVFailures++
+				fstats.Retries += brk.Retries
+				fstats.RepairSeconds += brk.Delay
+				tr.Add("fault.mcv_failures", 1)
+				if brk.Transient {
+					fstats.Transient++
+				} else {
+					fstats.Permanent++
+					tr.Add("fault.mcv_lost", 1)
+				}
+			}
+			fstats.PlannedLongestSum += sched.Longest
+		}
+
 		// Commit the tour against in-flight intervals: each stop starts
 		// after physical arrival and after every conflicting committed
 		// interval ends. In-flight tours are never delayed by a later
-		// dispatch, so one forward pass suffices.
+		// dispatch, so one forward pass suffices. Travel and charging
+		// stretch by the injector's noise factors; a transient breakdown
+		// pauses the charger once, and a permanent one ends the tour at
+		// the first stop it can no longer finish.
 		clock := now
 		pos := nw.Depot
+		prevID := -1
 		wait := 0.0
+		servedCount := 0
+		stopsDone := 0
+		paused := false
+		lost := false
 		for _, st := range tour {
 			sensorID := pending[st.Node]
 			stopPos := nw.Sensors[sensorID].Pos
-			clock += geom.Dist(pos, stopPos) / nw.Speed
+			clock += geom.Dist(pos, stopPos) / nw.Speed * inj.TravelFactor(round, prevID, sensorID)
+			if broken && brk.Transient && !paused && clock >= now+brk.At {
+				clock += brk.Delay
+				paused = true
+			}
 			cover := coverOf(sensorID)
 			start := clock
 			for _, iv := range committed {
@@ -184,16 +254,28 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 					start = iv.end
 				}
 			}
+			dur := st.Duration * inj.ChargeFactor(round, sensorID)
+			if broken && brk.Transient && !paused && start < now+brk.At && now+brk.At < start+dur {
+				dur += brk.Delay
+				paused = true
+			}
+			if broken && !brk.Transient && start+dur > now+brk.At {
+				// The charger dies before finishing this stop; its covered
+				// sensors stay pending and the survivors inherit them.
+				lost = true
+				break
+			}
 			wait += start - clock
-			clock = start + st.Duration
+			clock = start + dur
 			pos = stopPos
+			prevID = sensorID
 			iv := interval{
 				node:  sensorID,
 				pos:   stopPos,
 				cover: cover,
 				start: start,
 				end:   clock,
-				tour:  len(res.Rounds),
+				tour:  round,
 			}
 			committed = append(committed, iv)
 			if cfg.Verify {
@@ -204,37 +286,56 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 				delivered := states[pending[ri]].chargeAt(clock, cfg.ChargeLevel)
 				res.EnergyDelivered += delivered
 				res.Charges++
+				servedCount++
+			}
+			stopsDone++
+		}
+		if lost {
+			alive[ch] = false
+			aliveCount--
+			if fstats != nil {
+				fstats.SurvivingMCVs = aliveCount
+			}
+		} else {
+			clock += geom.Dist(pos, nw.Depot) / nw.Speed * inj.TravelFactor(round, prevID, -1)
+			if broken && brk.Transient && !paused {
+				clock += brk.Delay
 			}
 		}
-		clock += geom.Dist(pos, nw.Depot) / nw.Speed
 		delay := clock - now
+		if fstats != nil {
+			fstats.ActualLongestSum += delay
+		}
 
-		// Prune committed intervals no charger can conflict with anymore.
+		// Prune committed intervals no surviving charger can conflict
+		// with anymore.
 		if len(committed) > 4*len(tour)+64 {
-			minFree := free[0]
-			for _, f := range free {
-				if f < minFree {
+			minFree := math.Inf(1)
+			for j, f := range free {
+				if alive[j] && f < minFree {
 					minFree = f
 				}
 			}
-			kept := committed[:0]
-			for _, iv := range committed {
-				if iv.end > minFree {
-					kept = append(kept, iv)
+			if !math.IsInf(minFree, 1) {
+				kept := committed[:0]
+				for _, iv := range committed {
+					if iv.end > minFree {
+						kept = append(kept, iv)
+					}
 				}
+				committed = kept
 			}
-			committed = kept
 		}
 
 		res.Rounds = append(res.Rounds, Round{
 			Start:   now,
-			Batch:   len(pending),
-			Stops:   len(tour),
+			Batch:   servedCount,
+			Stops:   stopsDone,
 			Longest: delay,
 			Wait:    wait,
 		})
 		tr.Add("sim.rounds", 1)
-		tr.Add("sim.charges", int64(len(pending)))
+		tr.Add("sim.charges", int64(servedCount))
 		longestAcc.Add(delay)
 		if delay > res.MaxLongest {
 			res.MaxLongest = delay
@@ -258,6 +359,11 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 				if geom.Dist(audit[i].pos, audit[j].pos) <= 2*nw.Gamma &&
 					intersectSorted(audit[i].cover, audit[j].cover) {
 					res.Violations++
+					if res.FirstViolation == "" {
+						res.FirstViolation = fmt.Sprintf(
+							"simultaneous-charge: intervals at nodes %d and %d overlap at t=%.0f",
+							audit[i].node, audit[j].node, audit[j].start)
+					}
 				}
 			}
 		}
@@ -268,14 +374,17 @@ func runIndependent(ctx context.Context, nw *wrsn.Network, k int, planner core.P
 	// each tour was committed, so the books cannot close earlier than the
 	// last in-flight tour's return.
 	res.End = cfg.Duration
-	if runErr != nil {
+	if runErr != nil && !errors.Is(runErr, fault.ErrFleetLost) {
+		// A lost fleet still closes at the horizon — the outage's dead
+		// time is the result — while a cancellation closes early.
 		res.End = cancelledAt
 	}
-	for _, f := range free {
-		if f > res.End {
+	for j, f := range free {
+		if alive[j] && f > res.End {
 			res.End = f
 		}
 	}
+	world.advance(res.End, states, targets)
 	totalDead := 0.0
 	for i := range states {
 		states[i].advanceTo(res.End)

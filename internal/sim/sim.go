@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wrsn"
@@ -81,7 +82,15 @@ type Config struct {
 	// records violations in the result. One-to-one schedules (every stop
 	// covering exactly its own sensor) are verified under point-charging
 	// semantics, where the multi-node overlap constraint does not apply.
+	// Under a fault plan the verifier sees the realized (post-fault)
+	// schedule; requests the fault model left unserved are exempt from
+	// the coverage check.
 	Verify bool
+	// Faults configures deterministic fault injection: MCV breakdowns
+	// with online tour repair, travel/charging delay noise, sensor churn
+	// and request bursts. nil (or a zero plan) runs fault-free; see
+	// fault.Plan. Runs with an identical plan are identical.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +150,13 @@ type Result struct {
 	// Violations counts feasibility violations across all rounds when
 	// Config.Verify is set. It should always be zero.
 	Violations int
+	// FirstViolation is the first verifier violation encountered, in
+	// Kind: Detail form, or empty. It pins down what went wrong without
+	// re-running the verifier.
+	FirstViolation string
+	// Faults aggregates fault-injection and recovery activity; nil when
+	// the run had no fault plan.
+	Faults *FaultStats
 	// End is the actual simulation end time (the last round may overrun
 	// the configured duration; metrics are normalized by End).
 	End float64
@@ -219,6 +235,13 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 		return nil, fmt.Errorf("sim: nil planner")
 	}
 	cfg = cfg.withDefaults()
+	inj, err := fault.New(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if !inj.Enabled() {
+		inj = nil
+	}
 
 	states := make([]sensorState, len(nw.Sensors))
 	for i := range nw.Sensors {
@@ -247,12 +270,19 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 		}
 	}
 	trace := newTracer(cfg.Trace)
-	if cfg.Dispatch == DispatchIndependent {
-		return runIndependent(ctx, nw, k, planner, cfg, states, targets)
-	}
-
 	tr := obs.FromContext(ctx)
+	var fstats *FaultStats
+	if inj != nil {
+		fstats = &FaultStats{SurvivingMCVs: k}
+	}
+	world := newFaultWorld(inj, cfg.Duration, len(states), fstats, trace, tr)
+	if cfg.Dispatch == DispatchIndependent {
+		return runIndependent(ctx, nw, k, planner, cfg, states, targets, inj, world, fstats)
+	}
+	res.Faults = fstats
+
 	now := 0.0
+	fleet := k
 	var longestAcc stats.Accumulator
 	var runErr error
 
@@ -264,11 +294,17 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 		if cfg.MaxRounds > 0 && len(res.Rounds) >= cfg.MaxRounds {
 			break
 		}
-		// Collect pending requests at the current time.
+		// Apply world-level fault events (sensor churn, request bursts)
+		// up to the current time, then collect pending requests.
+		world.advance(now, states, targets)
 		pending := pendingRequests(states, targets, now)
 		if len(pending) == 0 {
-			// Jump to the next threshold crossing.
+			// Jump to the next threshold crossing — but never over a
+			// pending world event, which can spawn requests of its own.
 			next := nextRequestTime(states, targets, now)
+			if wn := world.next(); wn+1e-6 < next {
+				next = wn + 1e-6
+			}
 			if math.IsInf(next, 1) || next >= cfg.Duration {
 				break
 			}
@@ -276,7 +312,7 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 			continue
 		}
 		// Snapshot batteries into the network view for instance building.
-		inst := buildInstance(nw, states, pending, k, cfg.ChargeLevel)
+		inst := buildInstance(nw, states, pending, fleet, cfg.ChargeLevel)
 		sched, err := planner.Plan(ctx, inst)
 		if err != nil {
 			// A cancelled planner aborts the round but not the
@@ -288,9 +324,28 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 			}
 			return nil, fmt.Errorf("sim: planner %s at t=%.0f: %w", planner.Name(), now, err)
 		}
+		// Realize this round under the fault model: breakdown draws,
+		// online tour repair, delay noise. sched becomes the realized
+		// schedule; unserved lists the requests no surviving MCV could
+		// take (they stay pending for later rounds).
+		var unserved []int
+		if world != nil {
+			exec, rf := applyRoundFaults(world, len(res.Rounds), now, inst, sched)
+			fleet -= rf.newDead
+			fstats.SurvivingMCVs = fleet
+			sched = exec
+			unserved = rf.unserved
+		}
 		if cfg.Verify {
 			sp := tr.Start(obs.StageVerify)
-			res.Violations += len(verifySchedule(inst, sched))
+			vs := verifySchedule(inst, sched)
+			if len(unserved) > 0 {
+				vs = dropUncovered(vs)
+			}
+			res.Violations += len(vs)
+			if res.FirstViolation == "" && len(vs) > 0 {
+				res.FirstViolation = vs[0].String()
+			}
 			sp.End()
 		}
 		// Apply charges at their absolute finish times, in time order so
@@ -311,8 +366,9 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 			}
 		}
 		sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
-		if len(events) != len(pending) {
-			return nil, fmt.Errorf("sim: planner %s served %d of %d requests", planner.Name(), len(events), len(pending))
+		served := len(pending) - len(unserved)
+		if len(events) != served {
+			return nil, fmt.Errorf("sim: planner %s served %d of %d requests", planner.Name(), len(events), served)
 		}
 		for _, ev := range events {
 			// A sensor may have died while waiting; its death time is
@@ -329,17 +385,17 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 		}
 		res.Rounds = append(res.Rounds, Round{
 			Start:   now,
-			Batch:   len(pending),
+			Batch:   served,
 			Stops:   sched.NumStops(),
 			Longest: sched.Longest,
 			Wait:    sched.WaitTime,
 		})
 		trace.emit(TraceEvent{
 			Kind: "dispatch", T: now, Charger: -1,
-			Batch: len(pending), Stops: sched.NumStops(), Delay: sched.Longest,
+			Batch: served, Stops: sched.NumStops(), Delay: sched.Longest,
 		})
 		tr.Add("sim.rounds", 1)
-		tr.Add("sim.charges", int64(len(pending)))
+		tr.Add("sim.charges", int64(served))
 		longestAcc.Add(sched.Longest)
 		if sched.Longest > res.MaxLongest {
 			res.MaxLongest = sched.Longest
@@ -351,11 +407,26 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 			nextDispatch = withWindow
 		}
 		if sched.Longest <= 0 {
-			// Defensive: a zero-delay schedule with pending requests
-			// would spin forever.
-			return nil, fmt.Errorf("sim: planner %s returned a zero-delay schedule for %d requests", planner.Name(), len(pending))
+			if world == nil {
+				// Defensive: a zero-delay schedule with pending requests
+				// would spin forever.
+				return nil, fmt.Errorf("sim: planner %s returned a zero-delay schedule for %d requests", planner.Name(), len(pending))
+			}
+			// Under faults a round can legitimately serve nothing (full
+			// fleet loss); keep the clock moving.
+			if min := now + 3600; nextDispatch < min {
+				nextDispatch = min
+			}
 		}
 		now = nextDispatch
+		if fleet <= 0 {
+			// Every MCV is permanently lost: no further rounds can run.
+			// The books stay open to the configured horizon so the
+			// sensors' dead time accrues honestly against the outage.
+			runErr = fmt.Errorf("sim: t=%.0f: %w", res.Rounds[len(res.Rounds)-1].Start, fault.ErrFleetLost)
+			now = cfg.Duration
+			break
+		}
 	}
 
 	// Close out the books at the end time. A cancelled run closes at the
@@ -365,6 +436,7 @@ func Run(ctx context.Context, nw *wrsn.Network, k int, planner core.Planner, cfg
 	if runErr == nil && res.End < cfg.Duration {
 		res.End = cfg.Duration
 	}
+	world.advance(res.End, states, targets)
 	totalDead := 0.0
 	for i := range states {
 		states[i].advanceTo(res.End)

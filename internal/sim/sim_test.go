@@ -347,6 +347,54 @@ func TestResultSummaryHelpers(t *testing.T) {
 	}
 }
 
+func TestResultSummaryDegenerateCases(t *testing.T) {
+	cases := []struct {
+		name                                  string
+		res                                   *Result
+		meanBatch, meanStops, consol, totWait float64
+	}{
+		{"empty result", &Result{}, 0, 0, 0, 0},
+		{"nil rounds slice", &Result{Rounds: nil}, 0, 0, 0, 0},
+		{
+			// A fleet-lost round can serve nothing at all.
+			"zero-batch zero-stop rounds",
+			&Result{Rounds: []Round{{Batch: 0, Stops: 0}, {Batch: 0, Stops: 0}}},
+			0, 0, 0, 0,
+		},
+		{
+			"stops without batch",
+			&Result{Rounds: []Round{{Batch: 0, Stops: 3}}},
+			0, 3, 0, 0,
+		},
+		{
+			"single round",
+			&Result{Rounds: []Round{{Batch: 5, Stops: 2, Wait: 7.5}}},
+			5, 2, 2.5, 7.5,
+		},
+		{
+			"wait without stops",
+			&Result{Rounds: []Round{{Wait: 1}, {Wait: 2}}},
+			0, 0, 0, 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.res.MeanBatch(); got != tc.meanBatch {
+				t.Errorf("MeanBatch = %v, want %v", got, tc.meanBatch)
+			}
+			if got := tc.res.MeanStops(); got != tc.meanStops {
+				t.Errorf("MeanStops = %v, want %v", got, tc.meanStops)
+			}
+			if got := tc.res.ConsolidationFactor(); got != tc.consol {
+				t.Errorf("ConsolidationFactor = %v, want %v", got, tc.consol)
+			}
+			if got := tc.res.TotalWait(); got != tc.totWait {
+				t.Errorf("TotalWait = %v, want %v", got, tc.totWait)
+			}
+		})
+	}
+}
+
 func TestConsolidationFactorAboveOneForAppro(t *testing.T) {
 	// Dense network: Appro must consolidate (>1 sensors per stop), while
 	// the one-to-one K-minMax baseline sits exactly at 1.

@@ -8,6 +8,7 @@ package wrsn
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,11 @@ import (
 	"repro/internal/energy"
 	"repro/internal/geom"
 )
+
+// ErrInvalidNetwork tags every Validate failure, so callers loading
+// untrusted network files can test with errors.Is and distinguish
+// malformed input from other failures.
+var ErrInvalidNetwork = errors.New("wrsn: invalid network")
 
 // Sensor is one stationary rechargeable sensor.
 type Sensor struct {
@@ -61,36 +67,64 @@ type Network struct {
 }
 
 // Validate reports the first structural problem with the network, or nil.
+// Every failure wraps ErrInvalidNetwork. Beyond range checks it rejects
+// NaN/Inf geometry (positions, gamma, speed, rates) outright: a single NaN
+// coordinate silently poisons every distance downstream and produces
+// nonsense tours instead of an error.
 func (nw *Network) Validate() error {
-	if nw.TxRange <= 0 {
-		return fmt.Errorf("wrsn: tx range = %v, want > 0", nw.TxRange)
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidNetwork, fmt.Sprintf(format, args...))
 	}
-	if nw.Gamma < 0 {
-		return fmt.Errorf("wrsn: gamma = %v, want >= 0", nw.Gamma)
+	if !finitePoint(nw.Base) {
+		return bad("base position %v is not finite", nw.Base)
 	}
-	if nw.ChargeRate <= 0 {
-		return fmt.Errorf("wrsn: charge rate = %v, want > 0", nw.ChargeRate)
+	if !finitePoint(nw.Depot) {
+		return bad("depot position %v is not finite", nw.Depot)
 	}
-	if nw.Speed <= 0 {
-		return fmt.Errorf("wrsn: speed = %v, want > 0", nw.Speed)
+	if !finitePoint(nw.Field.Min) || !finitePoint(nw.Field.Max) {
+		return bad("field %v is not finite", nw.Field)
+	}
+	if nw.TxRange <= 0 || !finite(nw.TxRange) {
+		return bad("tx range = %v, want finite > 0", nw.TxRange)
+	}
+	if nw.Gamma < 0 || !finite(nw.Gamma) {
+		return bad("gamma = %v, want finite >= 0", nw.Gamma)
+	}
+	if nw.ChargeRate <= 0 || !finite(nw.ChargeRate) {
+		return bad("charge rate = %v, want finite > 0", nw.ChargeRate)
+	}
+	if nw.Speed <= 0 || !finite(nw.Speed) {
+		return bad("speed = %v, want finite > 0", nw.Speed)
 	}
 	if err := nw.Radio.Validate(); err != nil {
-		return fmt.Errorf("wrsn: %w", err)
+		return fmt.Errorf("%w: %v", ErrInvalidNetwork, err)
 	}
+	seen := make(map[int]bool, len(nw.Sensors))
 	for i := range nw.Sensors {
 		s := &nw.Sensors[i]
-		if s.ID != i {
-			return fmt.Errorf("wrsn: sensor %d has ID %d", i, s.ID)
+		if seen[s.ID] {
+			return bad("duplicate sensor ID %d at index %d", s.ID, i)
 		}
-		if s.DataRate < 0 || math.IsNaN(s.DataRate) {
-			return fmt.Errorf("wrsn: sensor %d data rate = %v", i, s.DataRate)
+		seen[s.ID] = true
+		if s.ID != i {
+			return bad("sensor %d has ID %d, want IDs to match indices", i, s.ID)
+		}
+		if !finitePoint(s.Pos) {
+			return bad("sensor %d position %v is not finite", i, s.Pos)
+		}
+		if s.DataRate < 0 || !finite(s.DataRate) {
+			return bad("sensor %d data rate = %v, want finite >= 0", i, s.DataRate)
 		}
 		if err := s.Battery.Validate(); err != nil {
-			return fmt.Errorf("wrsn: sensor %d: %w", i, err)
+			return fmt.Errorf("%w: sensor %d: %v", ErrInvalidNetwork, i, err)
 		}
 	}
 	return nil
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finitePoint(p geom.Point) bool { return finite(p.X) && finite(p.Y) }
 
 // Positions returns all sensor locations in ID order.
 func (nw *Network) Positions() []geom.Point {

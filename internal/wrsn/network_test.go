@@ -1,6 +1,7 @@
 package wrsn
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -91,15 +92,30 @@ func TestValidate(t *testing.T) {
 		{"zero speed", func(nw *Network) { nw.Speed = 0 }},
 		{"bad radio", func(nw *Network) { nw.Radio.DutyCycle = 2 }},
 		{"bad sensor ID", func(nw *Network) { nw.Sensors[1].ID = 7 }},
+		{"duplicate sensor IDs", func(nw *Network) { nw.Sensors[1].ID = 0; nw.Sensors[2].ID = 0 }},
 		{"negative data rate", func(nw *Network) { nw.Sensors[0].DataRate = -1 }},
 		{"bad battery", func(nw *Network) { nw.Sensors[0].Battery.Residual = -5 }},
+		{"NaN sensor position", func(nw *Network) { nw.Sensors[1].Pos.X = math.NaN() }},
+		{"Inf sensor position", func(nw *Network) { nw.Sensors[2].Pos.Y = math.Inf(1) }},
+		{"NaN base", func(nw *Network) { nw.Base.Y = math.NaN() }},
+		{"Inf depot", func(nw *Network) { nw.Depot.X = math.Inf(-1) }},
+		{"NaN field", func(nw *Network) { nw.Field.Max.X = math.NaN() }},
+		{"NaN gamma", func(nw *Network) { nw.Gamma = math.NaN() }},
+		{"Inf speed", func(nw *Network) { nw.Speed = math.Inf(1) }},
+		{"NaN charge rate", func(nw *Network) { nw.ChargeRate = math.NaN() }},
+		{"Inf tx range", func(nw *Network) { nw.TxRange = math.Inf(1) }},
+		{"NaN data rate", func(nw *Network) { nw.Sensors[0].DataRate = math.NaN() }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			nw := lineNetwork()
 			tt.mutate(nw)
-			if err := nw.Validate(); err == nil {
-				t.Error("expected error")
+			err := nw.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrInvalidNetwork) {
+				t.Errorf("error %v does not wrap ErrInvalidNetwork", err)
 			}
 		})
 	}

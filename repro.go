@@ -35,6 +35,7 @@ import (
 	"repro/internal/capacitated"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/lowerbound"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -213,6 +214,31 @@ func Simulate(ctx context.Context, nw *Network, k int, planner Planner, cfg SimC
 func RunFigure(ctx context.Context, id string, opt ExperimentOptions) (a, b *FigureResult, err error) {
 	return experiments.Run(ctx, id, opt)
 }
+
+// Fault injection and recovery (see internal/fault and internal/sim).
+// Attach a FaultPlan to SimConfig.Faults to subject the simulated fleet to
+// seed-deterministic MCV breakdowns, travel/charging delay noise, sensor
+// churn and request bursts; the simulator repairs broken chargers' tours
+// online and reports degradation through SimResult.Faults.
+type (
+	// FaultPlan configures deterministic fault injection for a run.
+	FaultPlan = fault.Plan
+	// ScriptedFailure forces one specific MCV breakdown.
+	ScriptedFailure = fault.ScriptedFailure
+	// FaultStats aggregates injected faults and recovery outcomes.
+	FaultStats = sim.FaultStats
+)
+
+// ErrFleetLost is returned (wrapped) by Simulate when every charger has
+// permanently broken down; the partial result is still returned with it.
+var ErrFleetLost = fault.ErrFleetLost
+
+// ParseFaultSpec builds a FaultPlan from a compact comma-separated spec
+// such as "mcv=0.1,transient=0.5,travel-noise=0.05".
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return fault.ParseSpec(spec) }
+
+// LoadFaultPlan reads and validates a JSON FaultPlan.
+func LoadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.Load(r) }
 
 // Analysis and bounds (see internal/core and internal/lowerbound).
 type (
