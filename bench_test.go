@@ -27,6 +27,8 @@ func benchOpts() repro.ExperimentOptions {
 
 func runFigure(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, bb, err := repro.RunFigure(context.Background(), id, benchOpts())
 		if err != nil {
@@ -90,6 +92,7 @@ func BenchmarkPlanners(b *testing.B) {
 	in := benchInstance(400, 2)
 	for _, p := range repro.Planners() {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Plan(context.Background(), in); err != nil {
 					b.Fatal(err)
@@ -105,6 +108,7 @@ func BenchmarkApproScaling(b *testing.B) {
 	for _, n := range []int{100, 200, 400, 800, 1200} {
 		in := benchInstance(n, 2)
 		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := repro.Appro(context.Background(), in, repro.ApproOptions{}); err != nil {
 					b.Fatal(err)
@@ -121,10 +125,49 @@ func BenchmarkVerify(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if vs := repro.Verify(in, s); len(vs) != 0 {
 			b.Fatalf("violations: %v", vs)
+		}
+	}
+}
+
+// BenchmarkParallelFig3a measures the figure-3(a) sweep at explicit worker
+// counts — the tentpole speedup target. The tables are byte-identical at
+// both counts (see internal/experiments determinism tests); only the wall
+// clock should move, and only on multi-core hardware.
+func BenchmarkParallelFig3a(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			opt := benchOpts()
+			opt.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repro.RunFigure(context.Background(), "3", opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCacheHit measures a warm plan-cache lookup (key hash plus
+// schedule deep copy) against the cold planning cost it saves.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	in := benchInstance(400, 2)
+	cache := repro.NewPlanCache(0)
+	planner := repro.CachedPlanner(repro.NewApproPlanner(repro.ApproOptions{}), cache)
+	if _, err := planner.Plan(context.Background(), in); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(context.Background(), in); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -140,6 +183,7 @@ func BenchmarkSimulateYear(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.Simulate(context.Background(), nw, 2, planner, repro.SimConfig{

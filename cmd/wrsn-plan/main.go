@@ -32,6 +32,8 @@ func main() {
 		svgPath   = flag.String("svg", "", "write an SVG rendering of the tours to this file")
 		gantt     = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
 		compare   = flag.Bool("compare", false, "plan with all five algorithms and compare objectives")
+		workers   = flag.Int("workers", 0, "plan the -compare algorithms concurrently on this many workers (0 = GOMAXPROCS); output is identical at any value")
+		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, instance) in a bounded in-memory LRU")
 		timeout   = flag.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
 		traceJSON = flag.String("trace-json", "", `write per-stage timings and counters as JSON to this file ("-" for stderr)`)
 	)
@@ -50,7 +52,7 @@ func main() {
 		ctx = repro.WithTracer(ctx, tracer)
 	}
 
-	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare)
+	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare, *workers, *planCache)
 	if tracer != nil {
 		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
 			err = terr
@@ -105,18 +107,32 @@ func buildInstance(n, k int, seed int64) *repro.Instance {
 	return in
 }
 
-func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool) error {
+func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool, workers int, planCache bool) error {
 	in := buildInstance(n, k, seed)
 
+	var cache *repro.PlanCache
+	if planCache {
+		cache = repro.NewPlanCache(0)
+	}
+
 	if compare {
+		ps := repro.Planners()
+		if cache != nil {
+			for i := range ps {
+				ps[i] = repro.CachedPlanner(ps[i], cache)
+			}
+		}
+		// The five algorithms run concurrently; results come back in
+		// planner order so the table is identical at any worker count.
+		schedules, err := repro.PlanConcurrently(ctx, in, ps, workers)
+		if err != nil {
+			return err
+		}
 		tb := export.NewTable(
 			fmt.Sprintf("one planning round, n=%d requests, K=%d", n, k),
 			"algorithm", "longest delay (h)", "stops", "total wait (s)", "violations")
-		for _, p := range repro.Planners() {
-			s, err := p.Plan(ctx, in)
-			if err != nil {
-				return fmt.Errorf("%s: %w", p.Name(), err)
-			}
+		for i, p := range ps {
+			s := schedules[i]
 			viol := verifyFor(in, s)
 			tb.AddRow(p.Name(), export.F(s.Longest/3600, 2), export.I(s.NumStops()),
 				export.F(s.WaitTime, 1), export.I(viol))
@@ -127,6 +143,9 @@ func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttP
 	planner, err := repro.NewPlanner(name)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		planner = repro.CachedPlanner(planner, cache)
 	}
 	s, err := planner.Plan(ctx, in)
 	if err != nil {

@@ -29,17 +29,21 @@ func TestBuildInstanceShape(t *testing.T) {
 }
 
 func TestRunSingleAndCompare(t *testing.T) {
-	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false); err != nil {
+	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), 40, 2, "", 1, "", "", true); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// The parallel compare path with the plan cache on must agree too.
+	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 4, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tours.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -52,14 +56,14 @@ func TestRunWritesSVG(t *testing.T) {
 }
 
 func TestRunUnknownPlanner(t *testing.T) {
-	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false); err == nil {
+	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false, 0, false); err == nil {
 		t.Error("unknown planner accepted")
 	}
 }
 
 func TestRunWritesGantt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gantt.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -128,6 +128,7 @@ func BenchmarkHungarian50(b *testing.B) {
 			cost[i][j] = rng.Float64() * 100
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Hungarian(cost); err != nil {

@@ -42,11 +42,13 @@ const LemmaTwoBound = 26 // ceil(8 * pi)
 // under the given options (the same MIS strategy Appro itself would use).
 // It is read-only: no schedule is produced. Analyze honors ctx between
 // its graph stages and records charging-graph/mis spans when ctx carries
-// an obs.Tracer.
+// an obs.Tracer. Like Appro it analyzes the canonically ordered request
+// set, so its report is invariant under request permutation.
 func Analyze(ctx context.Context, in *Instance, opts Options) (*Analysis, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	in, _ = canonicalize(in)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}

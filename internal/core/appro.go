@@ -34,6 +34,15 @@ type Options struct {
 	// K-minMax subroutine (step 5); zero means Christofides + 2-opt.
 	// Used by ablation studies.
 	TourBuilder ktour.Builder
+	// TourRestarts is the number of independent 2-opt descents the
+	// K-minMax grand-tour refinement runs; <= 1 means the single
+	// sequential descent. Restarts pick their winner by a stable (length,
+	// lexicographic) tiebreak, so any value stays deterministic at any
+	// worker count.
+	TourRestarts int
+	// Workers bounds the goroutines those restarts fan across; <= 0 means
+	// GOMAXPROCS. Affects speed only, never the schedule.
+	Workers int
 }
 
 // Appro runs Algorithm 1 of the paper and returns a planned schedule for
@@ -52,10 +61,29 @@ type Options struct {
 // ctx.Err() when the context is cancelled or its deadline passes. When
 // ctx carries an obs.Tracer, the stages charging-graph, mis, kminmax and
 // insertion are recorded on it.
+//
+// Appro treats V_s as a set: it plans on a canonically ordered copy of
+// the requests (see canon.go) and maps the stop indices back, so
+// permuting the input requests permutes Stop.Node/Stop.Covers labels but
+// changes nothing else about the schedule.
 func Appro(ctx context.Context, in *Instance, opts Options) (*Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	canon, perm := canonicalize(in)
+	s, err := approOrdered(ctx, canon, opts)
+	if err != nil {
+		return nil, err
+	}
+	remapSchedule(s, perm)
+	return s, nil
+}
+
+// approOrdered is Algorithm 1 proper, assuming the instance is already in
+// canonical request order (or that the caller accepts index-order
+// sensitivity). It is the sequential planning core; all returned indices
+// are in the instance's own index space.
+func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: appro: %w", err)
 	}
@@ -124,12 +152,14 @@ func Appro(ctx context.Context, in *Instance, opts Options) (*Schedule, error) {
 	// Step 5: K node-disjoint closed tours over V'_H via the K-minMax
 	// closed tour approximation.
 	kt, err := ktour.MinMax(ctx, ktour.Input{
-		Depot:   in.Depot,
-		Nodes:   vhPts,
-		Service: service,
-		Speed:   in.Speed,
-		K:       in.K,
-		Builder: opts.TourBuilder,
+		Depot:    in.Depot,
+		Nodes:    vhPts,
+		Service:  service,
+		Speed:    in.Speed,
+		K:        in.K,
+		Builder:  opts.TourBuilder,
+		Restarts: opts.TourRestarts,
+		Workers:  opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: k-minmax subroutine: %w", err)

@@ -240,6 +240,7 @@ func BenchmarkAppro(b *testing.B) {
 		rng := rand.New(rand.NewSource(1))
 		in := paperInstance(rng, n, 2)
 		b.Run(fmtInt(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Appro(context.Background(), in, Options{}); err != nil {
 					b.Fatal(err)

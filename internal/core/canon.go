@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Canonical request ordering.
+//
+// Algorithm Appro's tie-breaks — MIS vertex selection, coverage
+// attribution, the insertion scan — all fall back to request *indices*,
+// which are an artifact of input order, not of the problem: V_s is a set
+// of sensors. Planning on a canonically ordered copy of the instance and
+// mapping the resulting stop/cover indices back makes Appro a function of
+// the sensor set itself, which is what the metamorphic test suite proves:
+//
+//   - permuting the requests yields the bit-identical schedule (modulo the
+//     index relabeling), because the canonical order erases input order;
+//   - translating or rotating the whole field preserves the canonical
+//     order (the primary key is the rigid-motion-invariant depot
+//     distance), so the tour structure survives and delays move only by
+//     floating-point noise.
+//
+// The key orders by distance to the depot, then charge duration, then
+// lifetime, then raw coordinates as a final tiebreak for the measure-zero
+// case of sensors equidistant from the depot with identical demands.
+
+// canonicalOrder returns the request indices sorted by the canonical key,
+// i.e. perm[rank] = original index.
+func canonicalOrder(in *Instance) []int {
+	n := len(in.Requests)
+	dist := make([]float64, n)
+	for i := range in.Requests {
+		dist[i] = geom.Dist(in.Depot, in.Requests[i].Pos)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := &in.Requests[perm[a]], &in.Requests[perm[b]]
+		if dist[perm[a]] != dist[perm[b]] {
+			return dist[perm[a]] < dist[perm[b]]
+		}
+		if ra.Duration != rb.Duration {
+			return ra.Duration < rb.Duration
+		}
+		if ra.Lifetime != rb.Lifetime {
+			return ra.Lifetime < rb.Lifetime
+		}
+		if ra.Pos.X != rb.Pos.X {
+			return ra.Pos.X < rb.Pos.X
+		}
+		return ra.Pos.Y < rb.Pos.Y
+	})
+	return perm
+}
+
+// canonicalize returns the instance with requests in canonical order plus
+// the perm mapping canonical rank -> original index. When the input is
+// already canonical it is returned as-is with a nil perm, so the common
+// steady path allocates nothing.
+func canonicalize(in *Instance) (*Instance, []int) {
+	perm := canonicalOrder(in)
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return in, nil
+	}
+	canon := *in
+	canon.Requests = make([]Request, len(in.Requests))
+	for rank, orig := range perm {
+		canon.Requests[rank] = in.Requests[orig]
+	}
+	return &canon, perm
+}
+
+// remapSchedule rewrites a schedule planned in canonical index space back
+// to the caller's original request indices. Times and delays are untouched
+// — only Stop.Node and Stop.Covers are relabeled (Covers re-sorted so they
+// stay ascending). A nil perm is the identity.
+func remapSchedule(s *Schedule, perm []int) {
+	if perm == nil {
+		return
+	}
+	for k := range s.Tours {
+		stops := s.Tours[k].Stops
+		for i := range stops {
+			stops[i].Node = perm[stops[i].Node]
+			for j, u := range stops[i].Covers {
+				stops[i].Covers[j] = perm[u]
+			}
+			sort.Ints(stops[i].Covers)
+		}
+	}
+}

@@ -14,8 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -23,6 +21,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ktour"
 	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/plancache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -42,8 +42,16 @@ type Options struct {
 	// harness default (24 h).
 	BatchWindow float64
 	// Workers bounds the number of concurrent simulations; 0 means
-	// GOMAXPROCS.
+	// GOMAXPROCS. The figure tables are byte-identical at any worker
+	// count: cells are seeded by their grid position and merged by index
+	// (see internal/par), never by completion order.
 	Workers int
+	// PlanCache, when true, memoizes planner outputs by (planner,
+	// instance) across the sweep's simulation cells, so replans of an
+	// identical request set are served from a bounded LRU instead of
+	// re-running the planner. Results are unchanged — a hit returns a deep
+	// copy of exactly what the planner produced cold.
+	PlanCache bool
 	// Verify runs the feasibility verifier inside every simulation
 	// round and records violations.
 	Verify bool
@@ -70,9 +78,7 @@ func (o Options) withDefaults() Options {
 	if o.BatchWindow <= 0 {
 		o.BatchWindow = sim.DefaultBatchWindow
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = par.Size(o.Workers)
 	return o
 }
 
@@ -270,6 +276,15 @@ func Run(ctx context.Context, id string, opt Options) (a, b *Figure, err error) 
 func runSweep(ctx context.Context, spec sweepSpec, opt Options) (a, b *Figure, err error) {
 	opt = opt.withDefaults()
 	ps := planners()
+	if opt.PlanCache {
+		// One cache for the whole sweep. Keys include the planner name, so
+		// the five algorithms never cross-contaminate; hits arise when the
+		// same planner replans an identical request set.
+		cache := plancache.New(0)
+		for i := range ps {
+			ps[i] = plancache.Wrap(ps[i], cache)
+		}
+	}
 	tr := obs.FromContext(ctx)
 	progress := obs.NewProgress(opt.Progress)
 
@@ -281,57 +296,31 @@ func runSweep(ctx context.Context, spec sweepSpec, opt Options) (a, b *Figure, e
 			}
 		}
 	}
+	// Cell results land in slots indexed by grid position and each cell's
+	// seed depends only on that position, so the aggregation below — and
+	// hence the figure tables — is byte-identical at any worker count.
+	// done[ci] marks the cells whose results may enter the aggregation
+	// (all of them on a clean run, the completed subset on a cancelled
+	// one); it is written by exactly one worker and read only after
+	// par.Do returns.
 	results := make([]cellResult, len(cells))
-	// done[ci] is written by exactly one worker before wg.Done and read
-	// only after wg.Wait, so it needs no lock; it marks the cells whose
-	// results may enter the aggregation (all of them on a clean run, the
-	// completed prefix on a cancelled one).
 	done := make([]bool, len(cells))
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
-	)
-	work := make(chan int)
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ci := range work {
-				if ctx.Err() != nil {
-					continue // drain without simulating
-				}
-				c := cells[ci]
-				res, cerr := runCell(ctx, spec, opt, ps[c.pi], c)
-				if cerr != nil {
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = cerr
-					}
-					mu.Unlock()
-					continue
-				}
-				results[ci] = *res
-				done[ci] = true
-				tr.Add("experiments.cells", 1)
-				progress.Emit("fig%s %s=%v %s instance %d: longest %.1f h, dead %.1f min",
-					spec.id, spec.xlabel, spec.xs[c.xi], ps[c.pi].Name(), c.inst,
-					res.longestH, res.deadMin)
-			}
-		}()
-	}
-dispatch:
-	for ci := range cells {
-		select {
-		case work <- ci:
-		case <-ctx.Done():
-			break dispatch
+	doErr := par.Do(ctx, len(cells), opt.Workers, func(ctx context.Context, ci int) error {
+		c := cells[ci]
+		res, cerr := runCell(ctx, spec, opt, ps[c.pi], c)
+		if cerr != nil {
+			return cerr
 		}
-	}
-	close(work)
-	wg.Wait()
-	if firstEr != nil && ctx.Err() == nil {
-		return nil, nil, firstEr
+		results[ci] = *res
+		done[ci] = true
+		tr.Add("experiments.cells", 1)
+		progress.Emit("fig%s %s=%v %s instance %d: longest %.1f h, dead %.1f min",
+			spec.id, spec.xlabel, spec.xs[c.xi], ps[c.pi].Name(), c.inst,
+			res.longestH, res.deadMin)
+		return nil
+	})
+	if doErr != nil && ctx.Err() == nil {
+		return nil, nil, doErr
 	}
 
 	// Aggregate into the two panels.

@@ -132,6 +132,7 @@ func BenchmarkGridNeighbors(b *testing.B) {
 	}
 	g := NewGrid(pts, 2.7)
 	var buf []int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = g.Neighbors(pts[i%len(pts)], 2.7, buf)

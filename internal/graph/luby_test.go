@@ -113,6 +113,7 @@ func BenchmarkLubyMIS(b *testing.B) {
 		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
 	}
 	g := UnitDisk(pts, 2.7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = LubyMIS(g, int64(i))
@@ -126,6 +127,7 @@ func BenchmarkGreedyMIS(b *testing.B) {
 		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
 	}
 	g := UnitDisk(pts, 2.7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = MaximalIndependentSet(g, MISMaxDegree, nil)

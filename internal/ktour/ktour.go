@@ -41,6 +41,16 @@ type Input struct {
 	// Builder selects the grand-tour construction the splitter works on;
 	// zero means BuilderChristofides. Exposed for ablation studies.
 	Builder Builder
+	// Restarts is the number of independent 2-opt descents the grand-tour
+	// refinement runs (tsp.TwoOptRestarts); values <= 1 mean the single
+	// deterministic descent the sequential seed used. The winner is chosen
+	// by a stable (length, lexicographic) tiebreak, so any value is
+	// deterministic at any worker count. Ignored by BuilderMST, which by
+	// design runs no local search.
+	Restarts int
+	// Workers bounds the goroutines the restarts fan across; <= 0 means
+	// GOMAXPROCS. It affects speed only, never the result.
+	Workers int
 }
 
 // Builder names a grand-tour construction heuristic.
@@ -153,7 +163,7 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 		return sol, nil
 	}
 
-	order := GrandTourOrder(in)
+	order := GrandTourOrder(ctx, in)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("ktour: %w", err)
 	}
@@ -210,7 +220,13 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 // GrandTourOrder builds the single TSP tour over depot + nodes used as the
 // splitting backbone, returning node indices (0..len(Nodes)-1) in visit
 // order starting from the depot's successor. Exposed for ablation studies.
-func GrandTourOrder(in Input) []int {
+//
+// With Input.Restarts > 1 the 2-opt refinement runs that many independent
+// seeded descents across Input.Workers goroutines and keeps the best by
+// the stable (length, lexicographic) tiebreak; ctx then bounds the fan-out
+// (cancellation falls back to the weakest completed descent). Restarts <= 1
+// is the sequential seed behavior and never spawns a goroutine.
+func GrandTourOrder(ctx context.Context, in Input) []int {
 	n := len(in.Nodes)
 	if n == 0 {
 		return nil
@@ -224,10 +240,10 @@ func GrandTourOrder(in Input) []int {
 		tour = tsp.MSTApprox(pts, 0)
 	case BuilderNearestNeighbor:
 		tour = tsp.NearestNeighbor(pts, 0)
-		tsp.TwoOpt(&tour, pts, 0)
+		tsp.TwoOptRestarts(ctx, &tour, pts, in.Restarts, in.Workers)
 	default: // BuilderChristofides and the zero value
 		tour = tsp.Christofides(pts, 0)
-		tsp.TwoOpt(&tour, pts, 0)
+		tsp.TwoOptRestarts(ctx, &tour, pts, in.Restarts, in.Workers)
 	}
 	tour.RotateToStart(0)
 	order := make([]int, 0, n)

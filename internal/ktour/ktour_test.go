@@ -196,7 +196,7 @@ func TestTourDelayHandComputed(t *testing.T) {
 func TestSplitAtTargetMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	in := randInput(rng, 30, 1)
-	order := GrandTourOrder(in)
+	order := GrandTourOrder(context.Background(), in)
 	full := TourDelay(in, order)
 	prevParts := len(splitAtTarget(in, order, full/16))
 	for _, f := range []float64{8, 4, 2, 1} {
@@ -234,6 +234,7 @@ func TestMinMaxNearOptimalOnLine(t *testing.T) {
 
 func BenchmarkMinMax500(b *testing.B) {
 	in := randInput(rand.New(rand.NewSource(1)), 500, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MinMax(context.Background(), in); err != nil {

@@ -1,0 +1,79 @@
+package ktour
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func restartInput(n, k, restarts, workers int) Input {
+	rng := rand.New(rand.NewSource(21))
+	nodes := make([]geom.Point, n)
+	service := make([]float64, n)
+	for i := range nodes {
+		nodes[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		service[i] = rng.Float64() * 3600
+	}
+	return Input{
+		Depot: geom.Pt(50, 50), Nodes: nodes, Service: service,
+		Speed: 1, K: k, Restarts: restarts, Workers: workers,
+	}
+}
+
+// TestMinMaxRestartsDeterministicAcrossWorkers: the full K-minMax pipeline
+// with parallel grand-tour restarts is byte-identical at any worker count.
+func TestMinMaxRestartsDeterministicAcrossWorkers(t *testing.T) {
+	solve := func(workers int) *Solution {
+		sol, err := MinMax(context.Background(), restartInput(50, 3, 6, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	want := solve(1)
+	for _, workers := range []int{2, 8} {
+		if got := solve(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestMinMaxZeroRestartsMatchesSeed: Restarts 0 and 1 are both the single
+// sequential descent, so they must agree exactly.
+func TestMinMaxZeroRestartsMatchesSeed(t *testing.T) {
+	a, err := MinMax(context.Background(), restartInput(40, 2, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinMax(context.Background(), restartInput(40, 2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Restarts=0 and Restarts=1 diverged")
+	}
+}
+
+// TestMinMaxRestartsStillFeasible: restarts change tour quality, never
+// feasibility — every node appears in exactly one tour.
+func TestMinMaxRestartsStillFeasible(t *testing.T) {
+	in := restartInput(60, 3, 5, 4)
+	sol, err := MinMax(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, len(in.Nodes))
+	for _, tour := range sol.Tours {
+		for _, v := range tour {
+			seen[v]++
+		}
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d visited %d times", v, c)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(7); got != 7 {
+		t.Errorf("Size(7) = %d, want 7", got)
+	}
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const tasks = 100
+			counts := make([]int32, tasks)
+			err := Do(context.Background(), tasks, workers, func(_ context.Context, i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("task %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if err := Do(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for zero tasks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoLowestIndexError pins the deterministic error contract: the error
+// of the lowest failing index wins, at every worker count, even though a
+// higher index may fail first in wall-clock time.
+func TestDoLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			err := Do(context.Background(), 50, workers, func(_ context.Context, i int) error {
+				switch i {
+				case 3, 7, 41:
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 3 failed" {
+				t.Fatalf("got error %v, want task 3's", err)
+			}
+		})
+	}
+}
+
+// TestDoContinuesPastErrors verifies a failing task does not abort its
+// siblings: every other task still runs.
+func TestDoContinuesPastErrors(t *testing.T) {
+	const tasks = 40
+	var ran int32
+	err := Do(context.Background(), tasks, 4, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran != tasks {
+		t.Fatalf("ran %d of %d tasks", ran, tasks)
+	}
+}
+
+func TestDoCancellationSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := Do(ctx, 1000, 2, func(_ context.Context, i int) error {
+		if atomic.AddInt32(&ran, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Fatalf("cancellation did not skip any of the %d tasks", n)
+	}
+}
+
+// TestDoTaskErrorBeatsCancellation: when a task fails and the context is
+// later cancelled, the deterministic task error is still reported.
+func TestDoTaskErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := Do(ctx, 10, 2, func(_ context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		if i == 9 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want task 0's error", err)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the headline guarantee: the
+// assembled result slice is byte-identical at any worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	compute := func(workers int) []string {
+		out, err := Map(context.Background(), 64, workers, func(_ context.Context, i int) (string, error) {
+			// Sleep jitter makes completion order differ from index order.
+			time.Sleep(time.Duration((i*37)%5) * time.Millisecond)
+			return fmt.Sprintf("task-%d", i*i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := compute(1)
+	for _, workers := range []int{2, 8} {
+		got := compute(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverged at %d: %q vs %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDoCounters(t *testing.T) {
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	if err := Do(ctx, 10, 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Report()
+	if r.Counters["par.batches"] != 1 || r.Counters["par.tasks"] != 10 || r.Counters["par.workers"] != 4 {
+		t.Fatalf("counters = %v", r.Counters)
+	}
+	// Worker clamp: more workers than tasks records the clamped count.
+	if err := Do(ctx, 2, 16, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Report().Counters["par.workers"]; got != 4+2 {
+		t.Fatalf("par.workers after clamped batch = %d, want 6", got)
+	}
+}

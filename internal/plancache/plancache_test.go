@@ -1,0 +1,232 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+func testInstance(n int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: 2}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			Lifetime: (1 + rng.Float64()*6) * 86400,
+		})
+	}
+	return in
+}
+
+func TestKeyOfSensitivity(t *testing.T) {
+	base := testInstance(40, 1)
+	baseKey := KeyOf("Appro", base)
+	if baseKey != KeyOf("Appro", testInstance(40, 1)) {
+		t.Fatal("equal instances must produce equal keys")
+	}
+	mutate := map[string]func(*core.Instance){
+		"depot":     func(in *core.Instance) { in.Depot.X += 1e-9 },
+		"gamma":     func(in *core.Instance) { in.Gamma += 1e-9 },
+		"speed":     func(in *core.Instance) { in.Speed *= 1.0000001 },
+		"k":         func(in *core.Instance) { in.K++ },
+		"coord":     func(in *core.Instance) { in.Requests[17].Pos.Y -= 1e-9 },
+		"duration":  func(in *core.Instance) { in.Requests[3].Duration += 1 },
+		"lifetime":  func(in *core.Instance) { in.Requests[0].Lifetime += 1 },
+		"truncated": func(in *core.Instance) { in.Requests = in.Requests[:39] },
+		"swapped":   func(in *core.Instance) { r := in.Requests; r[0], r[1] = r[1], r[0] },
+	}
+	for name, fn := range mutate {
+		in := testInstance(40, 1)
+		fn(in)
+		if KeyOf("Appro", in) == baseKey {
+			t.Errorf("%s: mutated instance hashed equal to the original", name)
+		}
+	}
+	if KeyOf("K-EDF", base) == baseKey {
+		t.Error("different planner names must produce different keys")
+	}
+}
+
+func TestCacheRoundTripDeepCopies(t *testing.T) {
+	c := New(8)
+	in := testInstance(10, 2)
+	s, err := core.ApproPlanner{}.Plan(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(context.Background(), "Appro", in, s)
+	// Mutating the original after Put must not corrupt the cached copy.
+	s.Longest = -1
+	s.Tours[0].Stops[0].Covers[0] = -7
+
+	got, ok := c.Get(context.Background(), "Appro", in)
+	if !ok {
+		t.Fatal("expected a hit")
+	}
+	if got.Longest == -1 || got.Tours[0].Stops[0].Covers[0] == -7 {
+		t.Fatal("cache returned memory shared with the Put schedule")
+	}
+	// Two Gets must not share memory with each other either.
+	again, _ := c.Get(context.Background(), "Appro", in)
+	got.Tours[0].Stops[0].Covers[0] = -9
+	if again.Tours[0].Stops[0].Covers[0] == -9 {
+		t.Fatal("two Gets share memory")
+	}
+	if _, ok := c.Get(context.Background(), "K-EDF", in); ok {
+		t.Fatal("hit across planner names")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	ctx := context.Background()
+	sched := &core.Schedule{Tours: []core.Tour{{}}}
+	ins := make([]*core.Instance, 5)
+	for i := range ins {
+		ins[i] = testInstance(5, int64(100+i))
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(ctx, "p", ins[i], sched)
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, ok := c.Get(ctx, "p", ins[0]); !ok {
+		t.Fatal("expected hit on 0")
+	}
+	c.Put(ctx, "p", ins[3], sched)
+	if _, ok := c.Get(ctx, "p", ins[1]); ok {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(ctx, "p", ins[i]); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 3 || st.Capacity != 3 || st.Evictions != 1 || st.Puts != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	c := New(4)
+	in := testInstance(5, 3)
+	if _, ok := c.Get(ctx, "p", in); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.Put(ctx, "p", in, &core.Schedule{})
+	if _, ok := c.Get(ctx, "p", in); !ok {
+		t.Fatal("expected hit")
+	}
+	got := tr.Report().Counters
+	if got["cache.hits"] != 1 || got["cache.misses"] != 1 || got["cache.puts"] != 1 {
+		t.Fatalf("tracer counters = %v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilCacheIsNoOp(t *testing.T) {
+	var c *Cache
+	in := testInstance(3, 4)
+	if _, ok := c.Get(context.Background(), "p", in); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(context.Background(), "p", in, &core.Schedule{})
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache not empty")
+	}
+	p := core.ApproPlanner{}
+	if got := Wrap(p, nil); got != core.Planner(p) {
+		t.Fatal("Wrap(nil cache) should return the planner unchanged")
+	}
+}
+
+// TestWrapByteIdentical is the cache's determinism guarantee: a warm hit
+// returns exactly what the underlying planner produced cold.
+func TestWrapByteIdentical(t *testing.T) {
+	c := New(8)
+	p := Wrap(core.ApproPlanner{}, c)
+	if p.Name() != "Appro" {
+		t.Fatalf("wrapped name = %q", p.Name())
+	}
+	in := testInstance(60, 5)
+	cold, err := p.Plan(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Plan(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm plan differs from cold plan")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+type failingPlanner struct{}
+
+func (failingPlanner) Name() string { return "failing" }
+func (failingPlanner) Plan(context.Context, *core.Instance) (*core.Schedule, error) {
+	return nil, errors.New("planner broke")
+}
+
+func TestWrapDoesNotCacheErrors(t *testing.T) {
+	c := New(4)
+	p := Wrap(failingPlanner{}, c)
+	in := testInstance(3, 6)
+	if _, err := p.Plan(context.Background(), in); err == nil {
+		t.Fatal("want error")
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				in := testInstance(4, int64(i%20))
+				name := fmt.Sprintf("p%d", g%3)
+				if s, ok := c.Get(context.Background(), name, in); ok {
+					if len(s.Tours) != 1 {
+						t.Error("corrupt cached schedule")
+						return
+					}
+				} else {
+					c.Put(context.Background(), name, in, &core.Schedule{Tours: []core.Tour{{}}})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}

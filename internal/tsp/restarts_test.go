@@ -1,0 +1,140 @@
+package tsp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+// TestTwoOptRestartsDeterministicAcrossWorkers pins the stable-tiebreak
+// guarantee: the winning tour is byte-identical at any worker count.
+func TestTwoOptRestartsDeterministicAcrossWorkers(t *testing.T) {
+	pts := randomPoints(60, 11)
+	run := func(workers int) Tour {
+		tour := NearestNeighbor(pts, 0)
+		TwoOptRestarts(context.Background(), &tour, pts, 8, workers)
+		return tour
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got.Order, want.Order) {
+			t.Fatalf("workers=%d produced a different tour:\n got %v\nwant %v",
+				workers, got.Order, want.Order)
+		}
+	}
+}
+
+// TestTwoOptRestartsNeverWorse: restart 0 is the plain descent, so the
+// winner can only match or beat it; and more restarts never hurt.
+func TestTwoOptRestartsNeverWorse(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pts := randomPoints(80, seed)
+		plain := NearestNeighbor(pts, 0)
+		TwoOpt(&plain, pts, 0)
+
+		restarted := NearestNeighbor(pts, 0)
+		TwoOptRestarts(context.Background(), &restarted, pts, 6, 4)
+
+		if restarted.Length(pts) > plain.Length(pts) {
+			t.Fatalf("seed %d: restarts %.6f worse than plain 2-opt %.6f",
+				seed, restarted.Length(pts), plain.Length(pts))
+		}
+		if err := restarted.Validate(len(pts)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if restarted.Order[0] != 0 {
+			t.Fatalf("seed %d: start vertex moved to %d", seed, restarted.Order[0])
+		}
+	}
+}
+
+// TestTwoOptRestartsSingleEqualsTwoOpt: restarts <= 1 must be bit-for-bit
+// the sequential seed behavior.
+func TestTwoOptRestartsSingleEqualsTwoOpt(t *testing.T) {
+	pts := randomPoints(50, 3)
+	a := NearestNeighbor(pts, 0)
+	b := a.Clone()
+	movesA := TwoOpt(&a, pts, 0)
+	movesB := TwoOptRestarts(context.Background(), &b, pts, 1, 8)
+	if movesA != movesB || !reflect.DeepEqual(a.Order, b.Order) {
+		t.Fatalf("restarts=1 diverged from TwoOpt: moves %d vs %d", movesA, movesB)
+	}
+}
+
+func TestTwoOptRestartsCancelled(t *testing.T) {
+	pts := randomPoints(40, 4)
+	tour := NearestNeighbor(pts, 0)
+	want := tour.Clone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	TwoOptRestarts(ctx, &tour, pts, 8, 2)
+	// With every restart skipped the input tour stands; it must at least
+	// remain a valid permutation (and in fact be unchanged).
+	if err := tour.Validate(len(pts)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tour.Order, want.Order) {
+		t.Fatal("cancelled restarts mutated the tour")
+	}
+}
+
+func TestDoubleBridgePermutes(t *testing.T) {
+	for n := 4; n <= 20; n++ {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		doubleBridge(order, rand.New(rand.NewSource(int64(n))))
+		tour := Tour{Order: order}
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if order[0] != 0 {
+			t.Fatalf("n=%d: start vertex moved", n)
+		}
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{1, 3}, true},
+		{[]int{1, 3}, []int{1, 2}, false},
+		{[]int{1, 2}, []int{1, 2}, false},
+		{[]int{1}, []int{1, 0}, true},
+		{[]int{1, 0}, []int{1}, false},
+	}
+	for _, c := range cases {
+		if got := lexLess(c.a, c.b); got != c.want {
+			t.Errorf("lexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkTwoOptRestarts(b *testing.B) {
+	pts := randomPoints(200, 9)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("restarts=8/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour := NearestNeighbor(pts, 0)
+				TwoOptRestarts(context.Background(), &tour, pts, 8, workers)
+			}
+		})
+	}
+}

@@ -236,6 +236,7 @@ func TestCloneIsDeep(t *testing.T) {
 
 func BenchmarkChristofides1000(b *testing.B) {
 	pts := randPts(rand.New(rand.NewSource(1)), 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Christofides(pts, 0)
@@ -246,6 +247,7 @@ func BenchmarkTwoOpt200(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	pts := randPts(rng, 200)
 	base := NearestNeighbor(pts, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tour := base.Clone()

@@ -38,6 +38,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lowerbound"
 	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/plancache"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/wrsn"
@@ -184,6 +186,37 @@ func NewPlanner(name string) (Planner, error) {
 func Planners() []Planner {
 	out := []Planner{core.ApproPlanner{}}
 	return append(out, baselines.All()...)
+}
+
+// Deterministic parallelism and plan caching (see internal/par and
+// internal/plancache). Every parallel entry point in this package is
+// byte-deterministic: equal inputs produce identical outputs at any worker
+// count, because work is identified by index and merged by index, never by
+// completion order.
+
+// PlanCache is a bounded LRU memoizing planner outputs by (planner name,
+// instance). Hits return deep copies of exactly what the planner produced
+// cold, so cached and uncached runs are byte-identical. Safe for concurrent
+// use; hit/miss/eviction counters land on any Tracer in the context.
+type PlanCache = plancache.Cache
+
+// NewPlanCache returns a plan cache holding at most capacity schedules
+// (capacity <= 0 selects the default of 256).
+func NewPlanCache(capacity int) *PlanCache { return plancache.New(capacity) }
+
+// CachedPlanner wraps p so repeated plans of an identical instance are
+// served from c. The wrapper keeps p's name; errors are never cached.
+func CachedPlanner(p Planner, c *PlanCache) Planner { return plancache.Wrap(p, c) }
+
+// PlanConcurrently plans the same instance under every planner on a bounded
+// worker pool and returns one schedule per planner, in input order. workers
+// <= 0 means GOMAXPROCS; the output is independent of the worker count. On
+// failure it returns the lowest-index planner's error; on cancellation the
+// error wraps ctx.Err(). Slots whose planner did not complete are nil.
+func PlanConcurrently(ctx context.Context, in *Instance, planners []Planner, workers int) ([]*Schedule, error) {
+	return par.Map(ctx, len(planners), workers, func(ctx context.Context, i int) (*Schedule, error) {
+		return planners[i].Plan(ctx, in)
+	})
 }
 
 // NewNetworkParams returns the paper's default environment for n sensors
