@@ -33,7 +33,9 @@ func main() {
 		gantt     = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
 		compare   = flag.Bool("compare", false, "plan with all five algorithms and compare objectives")
 		workers   = flag.Int("workers", 0, "plan the -compare algorithms concurrently on this many workers (0 = GOMAXPROCS); output is identical at any value")
-		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, instance) in a bounded in-memory LRU")
+		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, options, instance) in a bounded in-memory LRU")
+		jsonOut   = flag.Bool("json", false, "print the schedule as canonical JSON instead of text (byte-identical to a wrsn-serve /v1/plan response)")
+		dumpInst  = flag.String("dump-instance", "", `write the generated instance as JSON to this file ("-" for stdout) — the bare-instance body /v1/plan accepts`)
 		timeout   = flag.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
 		traceJSON = flag.String("trace-json", "", `write per-stage timings and counters as JSON to this file ("-" for stderr)`)
 	)
@@ -52,7 +54,7 @@ func main() {
 		ctx = repro.WithTracer(ctx, tracer)
 	}
 
-	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare, *workers, *planCache)
+	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare, *workers, *planCache, *jsonOut, *dumpInst)
 	if tracer != nil {
 		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
 			err = terr
@@ -86,6 +88,23 @@ func writeTrace(path string, t *repro.Tracer) error {
 	return nil
 }
 
+// writeInstance dumps the instance as JSON to path ("-" means stdout).
+func writeInstance(path string, in *repro.Instance) error {
+	if path == "-" {
+		return export.WriteInstance(os.Stdout, in)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := export.WriteInstance(f, in); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 // buildInstance synthesizes a request set matching the paper's planning
 // regime: sensors uniform in the field, each having requested at ~20%
 // residual capacity, so charge durations fall in [1.2 h, 1.5 h].
@@ -107,8 +126,30 @@ func buildInstance(n, k int, seed int64) *repro.Instance {
 	return in
 }
 
-func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool, workers int, planCache bool) error {
+func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool, workers int, planCache bool, jsonOut bool, dumpInst string) error {
 	in := buildInstance(n, k, seed)
+	if dumpInst != "" {
+		if err := writeInstance(dumpInst, in); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		if compare {
+			return errors.New("-json is incompatible with -compare")
+		}
+		planner, err := repro.NewPlanner(name)
+		if err != nil {
+			return err
+		}
+		s, err := planner.Plan(ctx, in)
+		if err != nil {
+			return err
+		}
+		// The one canonical schedule encoding, shared with the planning
+		// service: wrsn-serve's /v1/plan response for this instance is
+		// byte-identical to this output.
+		return export.WriteSchedule(os.Stdout, s)
+	}
 
 	var cache *repro.PlanCache
 	if planCache {

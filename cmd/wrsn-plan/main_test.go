@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro"
+	"repro/internal/export"
 )
 
 func TestBuildInstanceShape(t *testing.T) {
@@ -29,21 +36,21 @@ func TestBuildInstanceShape(t *testing.T) {
 }
 
 func TestRunSingleAndCompare(t *testing.T) {
-	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false, 0, false); err != nil {
+	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 0, false); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	// The parallel compare path with the plan cache on must agree too.
-	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 4, true); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 4, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tours.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false, 0, false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -55,15 +62,72 @@ func TestRunWritesSVG(t *testing.T) {
 	}
 }
 
+// TestJSONOutputRoundTrip checks the -json / -dump-instance pair: the
+// dumped instance decodes back to exactly the generated one, and -json
+// prints the canonical schedule encoding for it (what a wrsn-serve
+// /v1/plan response body must match byte for byte).
+func TestJSONOutputRoundTrip(t *testing.T) {
+	instPath := filepath.Join(t.TempDir(), "inst.json")
+
+	// Capture the schedule JSON that run(-json) writes to stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), 40, 2, "Appro", 1, "", "", false, 0, false, true, instPath)
+	w.Close()
+	os.Stdout = old
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	// The dumped instance must decode to exactly what buildInstance made.
+	data, err := os.ReadFile(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded repro.Instance
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := buildInstance(40, 2, 1)
+	if !reflect.DeepEqual(&decoded, want) {
+		t.Fatal("dumped instance does not round-trip to the generated one")
+	}
+
+	// And the stdout JSON must be the canonical encoding of its plan.
+	planner, err := repro.NewPlanner("Appro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := planner.Plan(context.Background(), &decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantOut bytes.Buffer
+	if err := export.WriteSchedule(&wantOut, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantOut.Bytes()) {
+		t.Fatalf("-json output is not the canonical schedule encoding\ngot:  %.120s\nwant: %.120s", got, wantOut.Bytes())
+	}
+}
+
 func TestRunUnknownPlanner(t *testing.T) {
-	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false, 0, false); err == nil {
+	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false, 0, false, false, ""); err == nil {
 		t.Error("unknown planner accepted")
 	}
 }
 
 func TestRunWritesGantt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gantt.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false, 0, false); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

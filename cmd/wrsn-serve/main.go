@@ -1,0 +1,314 @@
+// Command wrsn-serve runs the planning engine as an HTTP/JSON service:
+// POST /v1/plan plans charging tours for an instance (byte-identical to
+// `wrsn-plan -json`), POST /v1/simulate runs the evaluation protocol,
+// and /healthz, /metrics and /debug/pprof expose operational state.
+// SIGTERM or SIGINT triggers a graceful drain: in-flight requests
+// finish, new ones get 503, then the listener closes.
+//
+// Usage:
+//
+//	wrsn-serve -addr :8080 -workers 4 -queue 64
+//	wrsn-plan -n 400 -dump-instance inst.json
+//	curl -s -d @inst.json localhost:8080/v1/plan
+//
+// The -loadgen mode benchmarks the service against itself: it starts an
+// in-process server, drives it from concurrent clients, then triggers a
+// drain with requests still in flight and verifies none are dropped.
+// Results go to BENCH_serve.json.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent planning workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth; requests beyond workers+queue get 429 (negative = no queue)")
+		cacheCap     = flag.Int("cache-cap", 0, "plan cache capacity in entries (0 = default, negative = disabled)")
+		defTimeout   = flag.Duration("default-timeout", 30*time.Second, "planning deadline for requests that name none")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain waits for in-flight requests")
+
+		loadgen     = flag.Bool("loadgen", false, "run the self-benchmark instead of serving, writing results to -bench-out")
+		n           = flag.Int("n", 200, "loadgen: requests per planning instance")
+		k           = flag.Int("k", 2, "loadgen: chargers per planning instance")
+		reqs        = flag.Int("requests", 200, "loadgen: total /v1/plan requests in the sustained phase")
+		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent client connections")
+		variants    = flag.Int("variants", 4, "loadgen: distinct instances cycled through (1 = pure cache-hit load)")
+		benchOut    = flag.String("bench-out", "BENCH_serve.json", "loadgen: output file")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheCapacity:  *cacheCap,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+	}
+	if *loadgen {
+		if err := runLoadgen(cfg, *n, *k, *reqs, *concurrency, *variants, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wrsn-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := serve.New(cfg)
+	go func() {
+		for s.Addr() == "" {
+			time.Sleep(time.Millisecond)
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		log.Printf("wrsn-serve: listening on %s (workers=%d queue=%d)", s.Addr(), *workers, *queue)
+	}()
+	if err := s.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-serve:", err)
+		os.Exit(1)
+	}
+	log.Print("wrsn-serve: drained cleanly")
+}
+
+// loadgenInstance mirrors the wrsn-plan/serve test planning regime.
+func loadgenInstance(n, k int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: k}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			Lifetime: (1 + rng.Float64()*6) * 86400,
+		})
+	}
+	return in
+}
+
+// benchReport is the BENCH_serve.json shape.
+type benchReport struct {
+	Description string            `json:"description"`
+	Hardware    map[string]any    `json:"hardware"`
+	Config      map[string]any    `json:"config"`
+	Sustained   sustainedResults  `json:"sustained"`
+	Drain       drainResults      `json:"drain"`
+	GeneratedAt string            `json:"generated_at"`
+}
+
+type sustainedResults struct {
+	Requests   int     `json:"requests"`
+	OK         int64   `json:"ok"`
+	Rejected   int64   `json:"rejected_429"`
+	Errors     int64   `json:"errors"`
+	Seconds    float64 `json:"seconds"`
+	ReqPerSec  float64 `json:"req_per_s"`
+	CacheState string  `json:"cache"`
+}
+
+type drainResults struct {
+	InFlightAtDrain int   `json:"in_flight_at_drain"`
+	CompletedOK     int64 `json:"completed_ok"`
+	DroppedInFlight int64 `json:"dropped_in_flight"`
+	NewRefused      bool  `json:"new_requests_refused"`
+	CleanShutdown   bool  `json:"clean_shutdown"`
+}
+
+// runLoadgen starts an in-process server, measures sustained /v1/plan
+// throughput, then repeats the acceptance drill: trigger a drain with
+// requests in flight and verify every one of them completes.
+func runLoadgen(cfg serve.Config, n, k, reqs, concurrency, variants int, out string) error {
+	if variants < 1 {
+		variants = 1
+	}
+	cfg.Addr = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := serve.New(cfg)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.ListenAndServe(ctx) }()
+	for s.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+	url := "http://" + s.Addr() + "/v1/plan"
+
+	bodies := make([][]byte, variants)
+	for i := range bodies {
+		b, err := json.Marshal(loadgenInstance(n, k, int64(i+1)))
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	// Phase 1: sustained closed-loop load from `concurrency` clients.
+	var ok, rejected, errs atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reqs {
+					return
+				}
+				code, err := post(url, bodies[i%len(bodies)])
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case code == http.StatusOK:
+					ok.Add(1)
+				case code == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("sustained: %d requests in %.2fs (%.1f req/s, %d ok, %d rejected, %d errors)\n",
+		reqs, elapsed.Seconds(), float64(reqs)/elapsed.Seconds(), ok.Load(), rejected.Load(), errs.Load())
+
+	// Phase 2: the graceful-drain drill. Pin `concurrency` slow plans
+	// (fresh instances, so each pays a full plan), drain mid-flight, and
+	// require every admitted request to come back 200.
+	inFlight := concurrency
+	var drainOK, dropped atomic.Int64
+	var dwg sync.WaitGroup
+	for c := 0; c < inFlight; c++ {
+		body, err := json.Marshal(loadgenInstance(4*n, k, int64(1000+c)))
+		if err != nil {
+			return err
+		}
+		dwg.Add(1)
+		go func(b []byte) {
+			defer dwg.Done()
+			code, err := post(url, b)
+			if err == nil && code == http.StatusOK {
+				drainOK.Add(1)
+			} else {
+				dropped.Add(1)
+			}
+		}(body)
+	}
+	// Give the requests time to be admitted, then drain.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	newRefused := false
+	if code, err := post(url, bodies[0]); err != nil || code == http.StatusServiceUnavailable {
+		newRefused = true
+	}
+	dwg.Wait()
+	shutdownErr := <-serveDone
+	fmt.Printf("drain: %d in flight at SIGTERM, %d completed, %d dropped, clean shutdown: %v\n",
+		inFlight, drainOK.Load(), dropped.Load(), shutdownErr == nil)
+
+	rep := benchReport{
+		Description: fmt.Sprintf("wrsn-serve self-benchmark (wrsn-serve -loadgen -n %d -k %d -requests %d -concurrency %d -variants %d)",
+			n, k, reqs, concurrency, variants),
+		Hardware: map[string]any{
+			"cpu":        cpuModel(),
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go":         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		},
+		Config: map[string]any{
+			"workers": cfg.Workers, "queue_depth": cfg.QueueDepth,
+			"cache_capacity": cfg.CacheCapacity, "instance_n": n, "instance_k": k,
+		},
+		Sustained: sustainedResults{
+			Requests:   reqs,
+			OK:         ok.Load(),
+			Rejected:   rejected.Load(),
+			Errors:     errs.Load(),
+			Seconds:    elapsed.Seconds(),
+			ReqPerSec:  float64(reqs) / elapsed.Seconds(),
+			CacheState: fmt.Sprintf("%d variants over a shared plan cache", variants),
+		},
+		Drain: drainResults{
+			InFlightAtDrain: inFlight,
+			CompletedOK:     drainOK.Load(),
+			DroppedInFlight: dropped.Load(),
+			NewRefused:      newRefused,
+			CleanShutdown:   shutdownErr == nil,
+		},
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if dropped.Load() > 0 || shutdownErr != nil {
+		return fmt.Errorf("drain dropped %d in-flight requests (shutdown err: %v)", dropped.Load(), shutdownErr)
+	}
+	if errs.Load() > 0 {
+		return fmt.Errorf("sustained phase had %d transport/server errors", errs.Load())
+	}
+	return nil
+}
+
+// post issues one JSON POST and returns the status code, draining the
+// body so connections are reused.
+func post(url string, body []byte) (int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo, best effort.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}

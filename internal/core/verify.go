@@ -39,7 +39,13 @@ func Verify(in *Instance, s *Schedule) []Violation {
 		})
 	}
 
-	// 1. Coverage partition and radius.
+	// 1. Coverage partition and radius. A request's attribution is the
+	// FIRST stop that lists it: each extra covering stop is reported as
+	// its own double-cover violation (naming both the attributed stop and
+	// the extra one), and the radius check runs against the attributing
+	// stop only — an extra stop's distance is irrelevant to the partition
+	// the schedule actually charges under, and checking it would blame
+	// the wrong stop.
 	attributed := make([]int, len(in.Requests))
 	for i := range attributed {
 		attributed[i] = -1
@@ -64,9 +70,11 @@ func Verify(in *Instance, s *Schedule) []Violation {
 				}
 				if attributed[u] >= 0 {
 					out = append(out, Violation{
-						Kind:   "double-cover",
-						Detail: fmt.Sprintf("request %d attributed to two stops", u),
+						Kind: "double-cover",
+						Detail: fmt.Sprintf("request %d is attributed to stop %d but also covered by tour %d stop %d (node %d)",
+							u, attributed[u], k, si, stop.Node),
 					})
+					continue
 				}
 				attributed[u] = stop.Node
 				if !geom.Within(pos, in.Requests[u].Pos, in.Gamma) {

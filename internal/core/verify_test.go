@@ -85,6 +85,126 @@ func TestVerifyCatchesEachViolation(t *testing.T) {
 	}
 }
 
+// TestVerifyDoubleCoverAttribution is the regression test for the
+// double-cover misattribution bug: Verify used to overwrite attributed[u]
+// with each later covering stop, so the radius check and the uncovered
+// accounting ran against the LAST covering stop instead of the one the
+// request is actually attributed to (the first). The fixed verifier keeps
+// the first attribution, reports every extra covering stop as its own
+// double-cover violation, and range-checks only the attributing stop.
+func TestVerifyDoubleCoverAttribution(t *testing.T) {
+	// Geometry: stops at nodes 0 (x=10) and 1 (x=13), gamma 2.7. The
+	// contested request 2 moves per case; request 3 (x=16) hosts a third
+	// stop for the triple-cover case. Charging intervals are disjoint so
+	// no simultaneous-charge noise mixes into the counts.
+	build := func(contestedX float64, covers0, covers1, covers2 []int) (*Instance, *Schedule) {
+		in := &Instance{
+			Depot: geom.Pt(0, 0),
+			Requests: []Request{
+				{Pos: geom.Pt(10, 0), Duration: 100},
+				{Pos: geom.Pt(13, 0), Duration: 100},
+				{Pos: geom.Pt(contestedX, 0), Duration: 50},
+			},
+			Gamma: 2.7,
+			Speed: 1,
+			K:     2,
+		}
+		t1 := Tour{Stops: []Stop{{Node: 0, Arrive: 10, Duration: 100, Covers: covers0}}, Delay: 120}
+		t2 := Tour{Stops: []Stop{{Node: 1, Arrive: 115, Duration: 100, Covers: covers1}}, Delay: 228}
+		if covers2 != nil {
+			// A third stop needs a third sojourn sensor; it rides in
+			// tour 2 after the node-1 stop.
+			in.Requests = append(in.Requests, Request{Pos: geom.Pt(16, 0), Duration: 100})
+			t2.Stops = append(t2.Stops, Stop{Node: 3, Arrive: 220, Duration: 100, Covers: covers2})
+			t2.Delay = 336
+		}
+		s := &Schedule{Tours: []Tour{t1, t2}, Longest: t2.Delay}
+		return in, s
+	}
+	count := func(vs []Violation, kind string) int {
+		n := 0
+		for _, v := range vs {
+			if v.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	tests := []struct {
+		name                string
+		contestedX          float64
+		covers0, covers1    []int
+		covers2             []int
+		wantDouble          int
+		wantOutOfRange      int
+		wantDetailFragments []string
+	}{
+		{
+			// Both stops can reach request 2: one extra cover, no range
+			// violation anywhere.
+			name:       "both stops in range",
+			contestedX: 11.5,
+			covers0:    []int{0, 2}, covers1: []int{1, 2},
+			wantDouble: 1, wantOutOfRange: 0,
+			wantDetailFragments: []string{"request 2 is attributed to stop 0", "tour 1 stop 0 (node 1)"},
+		},
+		{
+			// The extra (second) stop cannot reach request 2. The old
+			// verifier blamed stop 1 with a bogus out-of-range; the
+			// attribution to stop 0 is in range, so only the double-cover
+			// remains.
+			name:       "extra stop out of range",
+			contestedX: 9,
+			covers0:    []int{0, 2}, covers1: []int{1, 2},
+			wantDouble: 1, wantOutOfRange: 0,
+			wantDetailFragments: []string{"request 2 is attributed to stop 0"},
+		},
+		{
+			// The attributing (first) stop cannot reach request 2: the
+			// range violation must blame stop 0, alongside the extra
+			// cover by stop 1.
+			name:       "attributing stop out of range",
+			contestedX: 15,
+			covers0:    []int{0, 2}, covers1: []int{1, 2},
+			wantDouble: 1, wantOutOfRange: 1,
+			wantDetailFragments: []string{"from stop 0", "request 2 is attributed to stop 0"},
+		},
+		{
+			// Three stops cover request 2: every extra stop is reported,
+			// not just "two stops".
+			name:       "triple cover",
+			contestedX: 11.5,
+			covers0:    []int{0, 2}, covers1: []int{1, 2}, covers2: []int{3, 2},
+			wantDouble: 2, wantOutOfRange: 0,
+			wantDetailFragments: []string{"tour 1 stop 0 (node 1)", "tour 1 stop 1 (node 3)"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in, s := build(tt.contestedX, tt.covers0, tt.covers1, tt.covers2)
+			vs := Verify(in, s)
+			if got := count(vs, "double-cover"); got != tt.wantDouble {
+				t.Errorf("double-cover count = %d, want %d (%v)", got, tt.wantDouble, vs)
+			}
+			if got := count(vs, "out-of-range"); got != tt.wantOutOfRange {
+				t.Errorf("out-of-range count = %d, want %d (%v)", got, tt.wantOutOfRange, vs)
+			}
+			if count(vs, "uncovered") != 0 {
+				t.Errorf("attributed request reported uncovered: %v", vs)
+			}
+			all := ""
+			for _, v := range vs {
+				all += v.String() + "\n"
+			}
+			for _, frag := range tt.wantDetailFragments {
+				if !strings.Contains(all, frag) {
+					t.Errorf("violations missing %q:\n%s", frag, all)
+				}
+			}
+		})
+	}
+}
+
 func TestVerifyCatchesSimultaneousCharge(t *testing.T) {
 	// Two sojourn locations 3 m apart with a sensor in the shared lens:
 	// charging both at the same time must be flagged.

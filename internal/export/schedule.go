@@ -1,0 +1,29 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+)
+
+// WriteSchedule writes the schedule as indented JSON followed by a
+// newline. This is the one canonical schedule encoding: both
+// `wrsn-plan -json` and the planning service's /v1/plan response body go
+// through it, which is what makes the two byte-identical for the same
+// instance (the serve golden test and the CI serve-smoke job diff them).
+func WriteSchedule(w io.Writer, s *core.Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteInstance writes the instance as indented JSON followed by a
+// newline, in exactly the shape /v1/plan accepts as a bare-instance
+// request body (`wrsn-plan -dump-instance` uses it to hand an instance
+// to the service).
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}

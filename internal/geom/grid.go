@@ -19,12 +19,23 @@ type Grid struct {
 	bucket map[int][]int32
 }
 
+// maxGridCells bounds cols*rows. Beyond it the cell-key arithmetic
+// cy*cols+cx could overflow int (extreme coordinate extents with a tiny
+// cell size make cols and rows each ~1e15, whose product wraps int64 and
+// lands distinct cells on one key), and the bucket map would be
+// pathologically sparse anyway. NewGrid coarsens the cell size until the
+// grid fits; queries stay correct — cells just hold more candidates.
+const maxGridCells = 1 << 26
+
 // NewGrid indexes pts with square cells of the given size. The cell size
 // should match the dominant query radius (e.g. the charging radius gamma);
 // queries with other radii remain correct but scan more cells. A
-// non-positive cell size is replaced by 1.
+// non-positive (or NaN) cell size is replaced by 1. When the point
+// extents divided by the cell size would exceed maxGridCells cells, the
+// cell size is doubled until the grid fits, which keys extreme
+// coordinates (±1e12 and beyond) without integer overflow.
 func NewGrid(pts []Point, cell float64) *Grid {
-	if cell <= 0 {
+	if !(cell > 0) {
 		cell = 1
 	}
 	g := &Grid{
@@ -38,8 +49,24 @@ func NewGrid(pts []Point, cell float64) *Grid {
 	}
 	b := Bounds(pts)
 	g.minX, g.minY = b.Min.X, b.Min.Y
-	g.cols = int(math.Floor((b.Max.X-b.Min.X)/cell)) + 1
-	g.rows = int(math.Floor((b.Max.Y-b.Min.Y)/cell)) + 1
+	// Size the grid in floats first: the integer conversion below is only
+	// safe once cols*rows is known to fit.
+	ex, ey := b.Max.X-b.Min.X, b.Max.Y-b.Min.Y
+	fc := math.Floor(ex/g.cell) + 1
+	fr := math.Floor(ey/g.cell) + 1
+	for !(fc*fr <= maxGridCells) { // also catches NaN/Inf extents
+		g.cell *= 2
+		if math.IsInf(g.cell, 0) {
+			// Degenerate extents (NaN/Inf coordinates): collapse to a
+			// single cell; queries fall back to scanning it.
+			fc, fr = 1, 1
+			break
+		}
+		fc = math.Floor(ex/g.cell) + 1
+		fr = math.Floor(ey/g.cell) + 1
+	}
+	g.cols = int(fc)
+	g.rows = int(fr)
 	for i, p := range pts {
 		key := g.key(p)
 		g.bucket[key] = append(g.bucket[key], int32(i))
@@ -53,9 +80,31 @@ func (g *Grid) Len() int { return len(g.pts) }
 // Point returns the i-th indexed point.
 func (g *Grid) Point(i int) Point { return g.pts[i] }
 
+// cellIndex maps a coordinate to its cell index along one axis, clamping
+// the float before the int conversion: a query point arbitrarily far from
+// the indexed bounds (or a NaN coordinate) must not trip Go's
+// implementation-defined out-of-range float-to-int conversion. Clamped
+// indices lie outside [0, cols) x [0, rows), so queries treat them like
+// any other out-of-grid cell.
+func cellIndex(v, min, cell float64) int {
+	f := math.Floor((v - min) / cell)
+	switch {
+	case f > maxGridCells:
+		return maxGridCells
+	case f < -maxGridCells:
+		return -maxGridCells
+	case math.IsNaN(f):
+		return -1
+	}
+	return int(f)
+}
+
+// key computes the bucket key of p's cell. With cols*rows bounded by
+// maxGridCells and the per-axis indices clamped, cy*cols+cx stays far
+// inside the int range.
 func (g *Grid) key(p Point) int {
-	cx := int(math.Floor((p.X - g.minX) / g.cell))
-	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	cx := cellIndex(p.X, g.minX, g.cell)
+	cy := cellIndex(p.Y, g.minY, g.cell)
 	return cy*g.cols + cx
 }
 
@@ -69,19 +118,17 @@ func (g *Grid) Neighbors(q Point, r float64, dst []int) []int {
 		return dst
 	}
 	r2 := r * r
-	span := int(math.Ceil(r/g.cell)) + 1
-	cx := int(math.Floor((q.X - g.minX) / g.cell))
-	cy := int(math.Floor((q.Y - g.minY) / g.cell))
-	for dy := -span; dy <= span; dy++ {
-		y := cy + dy
-		if y < 0 || y >= g.rows {
-			continue
-		}
-		for dx := -span; dx <= span; dx++ {
-			x := cx + dx
-			if x < 0 || x >= g.cols {
-				continue
-			}
+	// The scan window [c-span, c+span] is computed in float space and
+	// clamped to the grid per axis, so a huge radius/cell ratio or a query
+	// point far outside the indexed bounds can neither overflow the index
+	// arithmetic nor widen the loop beyond the grid itself.
+	span := math.Ceil(r/g.cell) + 1
+	cx := cellIndex(q.X, g.minX, g.cell)
+	cy := cellIndex(q.Y, g.minY, g.cell)
+	y0, y1 := cellScanRange(cy, span, g.rows)
+	x0, x1 := cellScanRange(cx, span, g.cols)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
 			for _, idx := range g.bucket[y*g.cols+x] {
 				if DistSq(q, g.pts[idx]) <= r2 {
 					dst = append(dst, int(idx))
@@ -90,6 +137,24 @@ func (g *Grid) Neighbors(q Point, r float64, dst []int) []int {
 		}
 	}
 	return dst
+}
+
+// cellScanRange clamps the inclusive cell window [c-span, c+span] to
+// [0, n), returning an empty range (1, 0) when they do not intersect.
+// span is kept in float space until after clamping so extreme values
+// never reach an int conversion.
+func cellScanRange(c int, span float64, n int) (int, int) {
+	lo, hi := float64(c)-span, float64(c)+span
+	if hi < 0 || lo > float64(n-1) || math.IsNaN(span) {
+		return 1, 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > float64(n-1) {
+		hi = float64(n - 1)
+	}
+	return int(lo), int(hi)
 }
 
 // NeighborsOf returns the indices of all indexed points within radius r of
@@ -116,31 +181,18 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 	}
 	// Expand ring by ring around q's cell until a hit is found, then one
 	// extra ring to guarantee correctness (a closer point can live in the
-	// next ring out).
-	cx := int(math.Floor((q.X - g.minX) / g.cell))
-	cy := int(math.Floor((q.Y - g.minY) / g.cell))
+	// next ring out). The start cell is clamped into the grid: for a query
+	// point outside the indexed bounds the rings then grow from the
+	// nearest grid cell, which keeps the ring count bounded by the grid
+	// size however far away q is, and the (span-1)*cell distance bound
+	// below stays valid because q is at least as far from every ring cell
+	// as the clamped cell's boundary is.
+	cx := clampInt(cellIndex(q.X, g.minX, g.cell), 0, g.cols-1)
+	cy := clampInt(cellIndex(q.Y, g.minY, g.cell), 0, g.rows-1)
 	maxSpan := g.cols
 	if g.rows > maxSpan {
 		maxSpan = g.rows
 	}
-	// Also cover a query point far outside the indexed bounds.
-	ox := 0
-	if cx < 0 {
-		ox = -cx
-	} else if cx >= g.cols {
-		ox = cx - g.cols + 1
-	}
-	oy := 0
-	if cy < 0 {
-		oy = -cy
-	} else if cy >= g.rows {
-		oy = cy - g.rows + 1
-	}
-	off := ox
-	if oy > off {
-		off = oy
-	}
-	maxSpan += off
 	for span := 0; span <= maxSpan; span++ {
 		// A point in a ring at cell-distance span is at least
 		// (span-1)*cell away from q, so once that lower bound exceeds
@@ -153,11 +205,15 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 			if y < 0 || y >= g.rows {
 				continue
 			}
-			for dx := -span; dx <= span; dx++ {
-				// Ring only: skip interior cells already scanned.
-				if dx > -span && dx < span && dy > -span && dy < span {
-					continue
-				}
+			// Ring only: on interior rows step straight from the left
+			// edge to the right edge instead of iterating (and skipping)
+			// every interior cell — rings must cost their perimeter, not
+			// their area, or a faraway query degrades quadratically.
+			step := 1
+			if span > 0 && dy > -span && dy < span {
+				step = 2 * span
+			}
+			for dx := -span; dx <= span; dx += step {
 				x := cx + dx
 				if x < 0 || x >= g.cols {
 					continue
@@ -172,4 +228,15 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 		}
 	}
 	return best, math.Sqrt(bestD2)
+}
+
+// clampInt clamps v into [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

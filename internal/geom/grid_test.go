@@ -138,3 +138,76 @@ func BenchmarkGridNeighbors(b *testing.B) {
 		buf = g.Neighbors(pts[i%len(pts)], 2.7, buf)
 	}
 }
+
+// TestGridExtremeExtentsNoOverflow is the regression test for the cell-key
+// integer overflow: with coordinate extents of ±1e12 and a tiny cell size,
+// cols and rows used to be ~1e15 each, so cy*cols+cx wrapped int64 and
+// distinct cells could collide on one bucket key (and the scan-window
+// arithmetic could overflow outright). The guarded grid coarsens its cell
+// size until cols*rows fits maxGridCells and must answer every query
+// exactly like the brute-force oracle.
+func TestGridExtremeExtentsNoOverflow(t *testing.T) {
+	// Four distant clusters at the corners of a ±1e12 square plus one at
+	// the origin, with intra-cluster spacing matched to the query radius.
+	var pts []Point
+	centers := []Point{
+		Pt(-1e12, -1e12), Pt(1e12, -1e12), Pt(-1e12, 1e12), Pt(1e12, 1e12), Pt(0, 0),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range centers {
+		for i := 0; i < 8; i++ {
+			pts = append(pts, Pt(c.X+rng.Float64()*4-2, c.Y+rng.Float64()*4-2))
+		}
+	}
+	for _, cell := range []float64{1e-3, 1, 2.7} {
+		g := NewGrid(pts, cell)
+		if g.cols <= 0 || g.rows <= 0 {
+			t.Fatalf("cell %g: non-positive grid dims %dx%d", cell, g.cols, g.rows)
+		}
+		if float64(g.cols)*float64(g.rows) > maxGridCells {
+			t.Fatalf("cell %g: cols*rows = %d*%d exceeds maxGridCells", cell, g.cols, g.rows)
+		}
+		for _, q := range append(append([]Point{}, centers...), Pt(1e12-3, 1e12+1), Pt(5e11, 5e11)) {
+			for _, r := range []float64{3, 10} {
+				got := sortedCopy(g.Neighbors(q, r, nil))
+				want := sortedCopy(bruteNeighbors(pts, q, r))
+				if !equalInts(got, want) {
+					t.Fatalf("cell %g: Neighbors(%v, %g) = %v, want %v", cell, q, r, got, want)
+				}
+			}
+			bi, bd := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := Dist(q, p); d < bd || (d == bd && i < bi) {
+					bi, bd = i, d
+				}
+			}
+			gi, gd := g.Nearest(q)
+			if gi != bi || math.Abs(gd-bd) > 1e-6*(1+bd) {
+				t.Fatalf("cell %g: Nearest(%v) = %d,%g, want %d,%g", cell, q, gi, gd, bi, bd)
+			}
+		}
+	}
+	// A radius spanning the whole field must return every point — this is
+	// the scan-window clamp at work (one full-grid scan, no overflow).
+	g := NewGrid(pts, 1)
+	if got := g.Neighbors(Pt(0, 0), 5e12, nil); len(got) != len(pts) {
+		t.Fatalf("field-spanning radius returned %d of %d points", len(got), len(pts))
+	}
+	// A query point far outside even these bounds must terminate and find
+	// the closest cluster.
+	if i, _ := g.Nearest(Pt(1e15, 1e15)); i < 0 {
+		t.Fatal("Nearest from 1e15 away found nothing")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// ErrSaturated is returned by Pool.Run when every worker slot is busy and
+// every queue slot is taken. Callers doing admission control (the planning
+// service) map it to a retryable rejection — HTTP 429 — rather than
+// letting load build up unbounded.
+var ErrSaturated = errors.New("par: pool saturated: all workers busy and queue full")
+
+// Pool is the persistent counterpart to Do/Map: a bounded worker pool with
+// an explicit admission queue, built for request-serving workloads where
+// tasks arrive one at a time and overload must be rejected, not buffered.
+//
+// Run executes the task on the submitting goroutine once it holds one of
+// the pool's worker slots, so the pool adds no goroutine hops and the
+// task inherits the caller's context (deadline, tracer) unchanged. At
+// most Workers tasks run at once; at most QueueDepth callers wait for a
+// slot; any caller beyond that is turned away immediately with
+// ErrSaturated. This gives a hard bound on both concurrency and queueing
+// delay: admitted work is at most QueueDepth tasks from starting.
+//
+// A Pool is safe for concurrent use. When a caller's ctx carries an
+// *obs.Tracer, Run records par.pool.runs, par.pool.queued and
+// par.pool.rejected on it, next to Do/Map's par.* counters.
+type Pool struct {
+	workers chan struct{} // worker-slot semaphore, capacity = worker count
+	queue   chan struct{} // waiter semaphore, capacity = queue depth
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+}
+
+// NewPool returns a pool with Size(workers) worker slots and queueDepth
+// waiting slots (negative means 0: overflow is rejected as soon as all
+// workers are busy).
+func NewPool(workers, queueDepth int) *Pool {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		workers: make(chan struct{}, Size(workers)),
+		queue:   make(chan struct{}, queueDepth),
+	}
+}
+
+// Run executes fn on the calling goroutine under a worker slot and
+// returns fn's error. When all workers are busy it waits in the admission
+// queue for a slot — unless the queue is full too, in which case it
+// returns ErrSaturated without running fn. A caller whose ctx is
+// cancelled while it waits leaves the queue and returns ctx.Err(); fn is
+// never started with an already-cancelled admission.
+func (p *Pool) Run(ctx context.Context, fn func(context.Context) error) error {
+	p.submitted.Add(1)
+	tr := obs.FromContext(ctx)
+	select {
+	case p.workers <- struct{}{}:
+	default:
+		// Every worker is busy; try to take a waiting slot.
+		select {
+		case p.queue <- struct{}{}:
+		default:
+			p.rejected.Add(1)
+			tr.Add("par.pool.rejected", 1)
+			return ErrSaturated
+		}
+		tr.Add("par.pool.queued", 1)
+		select {
+		case p.workers <- struct{}{}:
+			<-p.queue
+		case <-ctx.Done():
+			<-p.queue
+			return ctx.Err()
+		}
+	}
+	defer func() {
+		<-p.workers
+		p.completed.Add(1)
+	}()
+	tr.Add("par.pool.runs", 1)
+	return fn(ctx)
+}
+
+// PoolStats is a point-in-time pool snapshot.
+type PoolStats struct {
+	// Workers and QueueDepth are the configured bounds.
+	Workers, QueueDepth int
+	// Active is the number of worker slots currently held; Queued the
+	// number of callers currently waiting for one.
+	Active, Queued int
+	// Submitted counts Run calls, Rejected those turned away with
+	// ErrSaturated, and Completed tasks that ran to the end (successfully
+	// or not).
+	Submitted, Rejected, Completed int64
+}
+
+// Stats snapshots the pool counters. Active and Queued are instantaneous
+// channel lengths, so concurrent Runs may move them between reads.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    cap(p.workers),
+		QueueDepth: cap(p.queue),
+		Active:     len(p.workers),
+		Queued:     len(p.queue),
+		Submitted:  p.submitted.Load(),
+		Rejected:   p.rejected.Load(),
+		Completed:  p.completed.Load(),
+	}
+}

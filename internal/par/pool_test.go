@@ -1,0 +1,178 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fillPool occupies every worker slot with a task blocked on release and
+// returns once all of them are running.
+func fillPool(t *testing.T, p *Pool, workers int) (release chan struct{}, done *sync.WaitGroup) {
+	t.Helper()
+	release = make(chan struct{})
+	running := make(chan struct{}, workers)
+	done = &sync.WaitGroup{}
+	for i := 0; i < workers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			err := p.Run(context.Background(), func(context.Context) error {
+				running <- struct{}{}
+				<-release
+				return nil
+			})
+			if err != nil {
+				t.Errorf("blocked worker task failed: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case <-running:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker tasks did not start")
+		}
+	}
+	return release, done
+}
+
+func TestPoolRunsInline(t *testing.T) {
+	p := NewPool(2, 4)
+	var ran bool
+	if err := p.Run(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+	wantErr := errors.New("task failed")
+	if err := p.Run(context.Background(), func(context.Context) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the task's error", err)
+	}
+	st := p.Stats()
+	if st.Submitted != 2 || st.Completed != 2 || st.Rejected != 0 || st.Active != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolSaturationRejects(t *testing.T) {
+	const workers, depth = 2, 1
+	p := NewPool(workers, depth)
+	release, done := fillPool(t, p, workers)
+
+	// One caller fits the queue and blocks waiting for a slot.
+	queuedErr := make(chan error, 1)
+	go func() {
+		queuedErr <- p.Run(context.Background(), func(context.Context) error { return nil })
+	}()
+	waitFor(t, func() bool { return p.Stats().Queued == depth })
+
+	// The next caller is beyond workers+depth: rejected immediately.
+	if err := p.Run(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow Run = %v, want ErrSaturated", err)
+	}
+
+	close(release)
+	done.Wait()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued task should run after a slot frees: %v", err)
+	}
+	st := p.Stats()
+	if st.Rejected != 1 || st.Completed != workers+1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolQueuedCallerHonorsCancellation(t *testing.T) {
+	p := NewPool(1, 2)
+	release, done := fillPool(t, p, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	started := atomic.Bool{}
+	go func() {
+		errCh <- p.Run(ctx, func(context.Context) error { started.Store(true); return nil })
+	}()
+	waitFor(t, func() bool { return p.Stats().Queued == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	if started.Load() {
+		t.Fatal("fn ran despite cancelled admission")
+	}
+	if st := p.Stats(); st.Queued != 0 {
+		t.Fatalf("queue slot leaked: %+v", st)
+	}
+	close(release)
+	done.Wait()
+}
+
+func TestPoolCounters(t *testing.T) {
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	p := NewPool(1, 0)
+	release, done := fillPool(t, p, 1)
+	if err := p.Run(ctx, func(context.Context) error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+	done.Wait()
+	if err := p.Run(ctx, func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Report().Counters
+	if got["par.pool.rejected"] != 1 || got["par.pool.runs"] != 1 {
+		t.Fatalf("tracer counters = %v", got)
+	}
+}
+
+func TestPoolConcurrencyNeverExceedsWorkers(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Run(context.Background(), func(context.Context) error {
+				n := active.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				active.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+	st := p.Stats()
+	if st.Completed+st.Rejected != 100 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

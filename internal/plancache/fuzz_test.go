@@ -7,18 +7,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/ktour"
 )
 
-// FuzzPlanCacheKey checks the cache key's two contractual properties on
+// FuzzPlanCacheKey checks the cache key's contractual properties on
 // randomized instances: (1) equal instances hash equal (a replan of the
-// same network hits), and (2) an instance mutated in any single field — a
+// same network hits), (2) an instance mutated in any single field — a
 // coordinate, a duration, a lifetime, gamma, speed, K or the depot —
-// hashes differently (no false hits between distinct problems).
+// hashes differently (no false hits between distinct problems), and
+// (3) perturbing any plan-changing core.Options field (TourRestarts,
+// MISOrder, NoSortByFinishTime, TourBuilder, the seed under MISRandom)
+// changes the key, while the speed-only Workers field never does.
 func FuzzPlanCacheKey(f *testing.F) {
 	f.Add(int64(1), uint8(0), 1.0)
 	f.Add(int64(2), uint8(3), -0.5)
 	f.Add(int64(3), uint8(6), 1e-9)
 	f.Add(int64(42), uint8(5), 123.456)
+	f.Add(int64(7), uint8(7), 2.0)
+	f.Add(int64(8), uint8(9), 1.0)
+	f.Add(int64(9), uint8(11), 3.0)
+	f.Add(int64(10), uint8(12), 4.0)
 	f.Fuzz(func(t *testing.T, seed int64, field uint8, delta float64) {
 		if math.IsNaN(delta) || math.IsInf(delta, 0) || delta == 0 {
 			t.Skip("delta must be a usable perturbation")
@@ -45,12 +54,16 @@ func FuzzPlanCacheKey(f *testing.F) {
 		}
 		base, same, mutated := build(), build(), build()
 
-		if KeyOf("Appro", base) != KeyOf("Appro", same) {
+		if KeyOf("Appro", nil, base) != KeyOf("Appro", nil, same) {
 			t.Fatal("identically built instances hashed differently")
 		}
 
-		// Mutate exactly one field, verifying the perturbation actually
-		// changed the stored float (tiny deltas can round away).
+		// Mutate exactly one instance or options field, verifying float
+		// perturbations actually changed the stored value (tiny deltas can
+		// round away). Fields 0-6 perturb the instance, 7-11 the options;
+		// field 12 perturbs Workers, which must NOT change the key.
+		var mutOpts *core.Options
+		wantEqual := false
 		ri := rng.Intn(n)
 		changed := true
 		bump := func(v *float64) {
@@ -58,7 +71,7 @@ func FuzzPlanCacheKey(f *testing.F) {
 			*v += delta
 			changed = *v != old
 		}
-		switch field % 7 {
+		switch field % 13 {
 		case 0:
 			bump(&mutated.Requests[ri].Pos.X)
 		case 1:
@@ -73,22 +86,42 @@ func FuzzPlanCacheKey(f *testing.F) {
 			bump(&mutated.Speed)
 		case 6:
 			mutated.K++
+		case 7:
+			mutOpts = &core.Options{TourRestarts: 2 + rng.Intn(16)}
+		case 8:
+			mutOpts = &core.Options{NoSortByFinishTime: true}
+		case 9:
+			mutOpts = &core.Options{MISOrder: graph.MISMinDegree}
+		case 10:
+			mutOpts = &core.Options{TourBuilder: ktour.BuilderMST}
+		case 11:
+			mutOpts = &core.Options{MISOrder: graph.MISRandom, Seed: 1 + rng.Int63n(1 << 30)}
+		case 12:
+			mutOpts = &core.Options{Workers: 1 + rng.Intn(16)}
+			wantEqual = true
 		}
 		if !changed {
 			t.Skip("perturbation rounded away")
 		}
-		if KeyOf("Appro", mutated) == KeyOf("Appro", base) {
-			t.Fatalf("instances differing in field %d hashed equal", field%7)
+		mutKey, baseKey := KeyOf("Appro", mutOpts, mutated), KeyOf("Appro", nil, base)
+		if wantEqual {
+			if mutKey != baseKey {
+				t.Fatal("Workers is speed-only and must not change the key")
+			}
+		} else if mutKey == baseKey {
+			t.Fatalf("inputs differing in field %d hashed equal", field%13)
 		}
 
-		// A warm cache must hit the equal instance and miss the mutated one.
+		// A warm cache must hit the equal input and behave per the
+		// equivalence class on the mutated one.
 		c := New(4)
-		c.Put(t.Context(), "Appro", base, &core.Schedule{})
-		if _, ok := c.Get(t.Context(), "Appro", same); !ok {
+		c.Put(t.Context(), "Appro", nil, base, &core.Schedule{})
+		if _, ok := c.Get(t.Context(), "Appro", nil, same); !ok {
 			t.Fatal("equal instance missed the cache")
 		}
-		if _, ok := c.Get(t.Context(), "Appro", mutated); ok {
-			t.Fatal("mutated instance hit the cache")
+		_, ok := c.Get(t.Context(), "Appro", mutOpts, mutated)
+		if ok != wantEqual {
+			t.Fatalf("mutated input: cache hit = %v, want %v", ok, wantEqual)
 		}
 	})
 }

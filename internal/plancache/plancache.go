@@ -5,10 +5,14 @@
 //
 // A Cache maps an instance key to a stored *core.Schedule. The key is the
 // FNV-1a (128-bit) hash of a canonical binary encoding of everything the
-// planners read: the planner's name, the depot, gamma, the travel speed, K
-// and every request's position, duration and lifetime, in request order.
-// Any single-field difference — one coordinate nudged, a different gamma,
-// one more charger — therefore changes the key (see FuzzPlanCacheKey).
+// planners read: the planner's name, a canonical encoding of the
+// plan-shaping core.Options fields (see KeyOf), the depot, gamma, the
+// travel speed, K and every request's position, duration and lifetime, in
+// request order. Any single difference that can change the plan — one
+// coordinate nudged, a different gamma, one more charger, a different
+// TourRestarts — therefore changes the key (see FuzzPlanCacheKey).
+// Fields that affect only speed, never the schedule (Options.Workers),
+// are deliberately excluded so equivalent requests still share an entry.
 //
 // Schedules cross the cache boundary by deep copy in both directions:
 // callers may freely mutate what Get returns (the simulator's executor
@@ -29,6 +33,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ktour"
 	"repro/internal/obs"
 )
 
@@ -38,15 +44,58 @@ import (
 // under ~100 MB worst case.
 const DefaultCapacity = 256
 
-// Key identifies a (planner, instance) pair: the 128-bit FNV-1a hash of
-// the canonical instance encoding.
+// Key identifies a (planner, options, instance) triple: the 128-bit
+// FNV-1a hash of the canonical encoding.
 type Key [16]byte
 
-// KeyOf hashes everything the named planner reads from the instance.
-// Instances that differ in any field (a coordinate, a duration, gamma,
-// speed, K, the depot, the request count or order) produce different keys;
-// byte-equal instances produce equal keys.
-func KeyOf(planner string, in *core.Instance) Key {
+// Optioned is the optional interface a core.Planner implements to expose
+// the core.Options shaping its plans. Wrap consults it so two planners
+// that share a Name but differ in plan-changing options (e.g. two
+// ApproPlanners with different TourRestarts) never alias to one cache
+// entry.
+type Optioned interface {
+	// PlanOptions returns the options the planner plans under.
+	PlanOptions() core.Options
+}
+
+// canonOptions maps opts to the canonical representative of its
+// plan-equivalence class: two option values that provably produce the
+// same schedule encode identically, and any field that can change the
+// plan survives. nil means the zero (paper-default) options.
+//
+//   - MISOrder zero means graph.MISMaxDegree (Appro's documented default).
+//   - Seed only matters under graph.MISRandom; it is zeroed otherwise.
+//   - TourBuilder zero means ktour.BuilderChristofides.
+//   - TourRestarts <= 1 all mean the single sequential descent.
+//   - Workers affects speed only, never the schedule, and is dropped.
+func canonOptions(opts *core.Options) core.Options {
+	var o core.Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.MISOrder == 0 {
+		o.MISOrder = graph.MISMaxDegree
+	}
+	if o.MISOrder != graph.MISRandom {
+		o.Seed = 0
+	}
+	if o.TourBuilder == 0 {
+		o.TourBuilder = ktour.BuilderChristofides
+	}
+	if o.TourRestarts < 1 {
+		o.TourRestarts = 1
+	}
+	o.Workers = 0
+	return o
+}
+
+// KeyOf hashes everything the named planner reads from the options and
+// the instance. Instances that differ in any field (a coordinate, a
+// duration, gamma, speed, K, the depot, the request count or order)
+// produce different keys, as do options that differ in any plan-changing
+// field; byte-equal inputs — and options inside the same plan-equivalence
+// class, see canonOptions — produce equal keys.
+func KeyOf(planner string, opts *core.Options, in *core.Instance) Key {
 	h := fnv.New128a()
 	var buf [8]byte
 	f := func(v float64) {
@@ -59,6 +108,16 @@ func KeyOf(planner string, in *core.Instance) Key {
 	}
 	h.Write([]byte(planner))
 	h.Write([]byte{0}) // terminate the name so "AB"+depot can't alias "A"+...
+	o := canonOptions(opts)
+	u(uint64(o.MISOrder))
+	u(uint64(o.Seed))
+	if o.NoSortByFinishTime {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	u(uint64(o.TourBuilder))
+	u(uint64(o.TourRestarts))
 	f(in.Depot.X)
 	f(in.Depot.Y)
 	f(in.Gamma)
@@ -114,14 +173,15 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Get returns a deep copy of the schedule cached for the planner/instance
-// pair, or (nil, false). It records cache.hits or cache.misses on any
-// tracer in ctx.
-func (c *Cache) Get(ctx context.Context, planner string, in *core.Instance) (*core.Schedule, bool) {
+// Get returns a deep copy of the schedule cached for the
+// planner/options/instance triple, or (nil, false). nil opts means the
+// planner's zero (paper-default) options. It records cache.hits or
+// cache.misses on any tracer in ctx.
+func (c *Cache) Get(ctx context.Context, planner string, opts *core.Options, in *core.Instance) (*core.Schedule, bool) {
 	if c == nil {
 		return nil, false
 	}
-	key := KeyOf(planner, in)
+	key := KeyOf(planner, opts, in)
 	c.mu.Lock()
 	el, ok := c.byKey[key]
 	if !ok {
@@ -138,14 +198,16 @@ func (c *Cache) Get(ctx context.Context, planner string, in *core.Instance) (*co
 	return s, true
 }
 
-// Put stores a deep copy of the schedule under the planner/instance key,
-// evicting the least recently used entry when the cache is full. It
-// records cache.puts (and cache.evictions) on any tracer in ctx.
-func (c *Cache) Put(ctx context.Context, planner string, in *core.Instance, s *core.Schedule) {
+// Put stores a deep copy of the schedule under the
+// planner/options/instance key, evicting the least recently used entry
+// when the cache is full. nil opts means the planner's zero
+// (paper-default) options. It records cache.puts (and cache.evictions)
+// on any tracer in ctx.
+func (c *Cache) Put(ctx context.Context, planner string, opts *core.Options, in *core.Instance, s *core.Schedule) {
 	if c == nil || s == nil {
 		return
 	}
-	key := KeyOf(planner, in)
+	key := KeyOf(planner, opts, in)
 	cp := Clone(s)
 	evicted := false
 	c.mu.Lock()
@@ -224,20 +286,28 @@ func Clone(s *core.Schedule) *core.Schedule {
 
 // cachedPlanner adapts a Planner with read-through caching.
 type cachedPlanner struct {
-	p core.Planner
-	c *Cache
+	p    core.Planner
+	opts *core.Options
+	c    *Cache
 }
 
 // Wrap returns a Planner that consults the cache before delegating to p
 // and stores p's successful results. A nil cache returns p unchanged. The
 // wrapped planner keeps p's Name, so caching is invisible to result
 // tables, and byte-identical to p's output: a hit returns a deep copy of
-// exactly what p produced for the equal instance.
+// exactly what p produced for the equal instance. When p implements
+// Optioned its options join the key, so planners sharing a name but
+// planning under different options never serve each other's entries.
 func Wrap(p core.Planner, c *Cache) core.Planner {
 	if c == nil {
 		return p
 	}
-	return cachedPlanner{p: p, c: c}
+	cp := cachedPlanner{p: p, c: c}
+	if o, ok := p.(Optioned); ok {
+		opts := o.PlanOptions()
+		cp.opts = &opts
+	}
+	return cp
 }
 
 // Name implements core.Planner.
@@ -245,13 +315,13 @@ func (cp cachedPlanner) Name() string { return cp.p.Name() }
 
 // Plan implements core.Planner with read-through memoization.
 func (cp cachedPlanner) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
-	if s, ok := cp.c.Get(ctx, cp.p.Name(), in); ok {
+	if s, ok := cp.c.Get(ctx, cp.p.Name(), cp.opts, in); ok {
 		return s, nil
 	}
 	s, err := cp.p.Plan(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	cp.c.Put(ctx, cp.p.Name(), in, s)
+	cp.c.Put(ctx, cp.p.Name(), cp.opts, in, s)
 	return s, nil
 }

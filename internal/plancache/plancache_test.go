@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/ktour"
 	"repro/internal/obs"
 )
 
@@ -29,8 +31,8 @@ func testInstance(n int, seed int64) *core.Instance {
 
 func TestKeyOfSensitivity(t *testing.T) {
 	base := testInstance(40, 1)
-	baseKey := KeyOf("Appro", base)
-	if baseKey != KeyOf("Appro", testInstance(40, 1)) {
+	baseKey := KeyOf("Appro", nil, base)
+	if baseKey != KeyOf("Appro", nil, testInstance(40, 1)) {
 		t.Fatal("equal instances must produce equal keys")
 	}
 	mutate := map[string]func(*core.Instance){
@@ -47,12 +49,94 @@ func TestKeyOfSensitivity(t *testing.T) {
 	for name, fn := range mutate {
 		in := testInstance(40, 1)
 		fn(in)
-		if KeyOf("Appro", in) == baseKey {
+		if KeyOf("Appro", nil, in) == baseKey {
 			t.Errorf("%s: mutated instance hashed equal to the original", name)
 		}
 	}
-	if KeyOf("K-EDF", base) == baseKey {
+	if KeyOf("K-EDF", nil, base) == baseKey {
 		t.Error("different planner names must produce different keys")
+	}
+}
+
+// TestOptionsNoLongerAlias is the regression test for the option-aliasing
+// bug: the cache used to key on planner name + instance only, so two
+// ApproPlanners sharing the name "Appro" but planning under different
+// core.Options (e.g. TourRestarts) aliased to one entry, and the second
+// planner was served the first one's stale schedule.
+func TestOptionsNoLongerAlias(t *testing.T) {
+	in := testInstance(30, 9)
+
+	// Any plan-changing option field must change the key.
+	planChanging := map[string]*core.Options{
+		"restarts":   {TourRestarts: 8},
+		"mis-order":  {MISOrder: graph.MISMinDegree},
+		"no-sort":    {NoSortByFinishTime: true},
+		"builder":    {TourBuilder: ktour.BuilderMST},
+		"mis-random": {MISOrder: graph.MISRandom, Seed: 1},
+	}
+	base := KeyOf("Appro", nil, in)
+	for name, o := range planChanging {
+		if KeyOf("Appro", o, in) == base {
+			t.Errorf("%s: option set %+v aliases to the default-options key", name, *o)
+		}
+	}
+	r1 := &core.Options{MISOrder: graph.MISRandom, Seed: 1}
+	r2 := &core.Options{MISOrder: graph.MISRandom, Seed: 2}
+	if KeyOf("Appro", r1, in) == KeyOf("Appro", r2, in) {
+		t.Error("under MISRandom the seed changes the plan, so it must change the key")
+	}
+
+	// Options inside one plan-equivalence class must keep sharing an
+	// entry: defaults spelled explicitly, restart counts <= 1, the
+	// speed-only Workers field, and Seed under a deterministic MIS order.
+	equivalent := map[string]*core.Options{
+		"zero":             {},
+		"explicit-mis":     {MISOrder: graph.MISMaxDegree},
+		"explicit-builder": {TourBuilder: ktour.BuilderChristofides},
+		"restarts-one":     {TourRestarts: 1},
+		"restarts-neg":     {TourRestarts: -3},
+		"workers":          {Workers: 7},
+		"unused-seed":      {Seed: 42},
+	}
+	for name, o := range equivalent {
+		if KeyOf("Appro", o, in) != base {
+			t.Errorf("%s: plan-equivalent option set %+v does not share the default key", name, *o)
+		}
+	}
+
+	// End to end through Wrap: each planner gets its own entry and its
+	// warm plan equals its own cold plan, not the other planner's.
+	c := New(8)
+	fast := Wrap(core.ApproPlanner{}, c)
+	tuned := Wrap(core.ApproPlanner{Opts: core.Options{TourRestarts: 6}}, c)
+	ctx := context.Background()
+	coldFast, err := fast.Plan(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTuned, err := tuned.Plan(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("two differently-optioned planners should occupy two entries: %+v", st)
+	}
+	warmFast, err := fast.Plan(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTuned, err := tuned.Plan(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldFast, warmFast) {
+		t.Error("default-options planner served a schedule it did not produce")
+	}
+	if !reflect.DeepEqual(coldTuned, warmTuned) {
+		t.Error("tuned planner served a schedule it did not produce")
+	}
+	if st := c.Stats(); st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("warm replans should both hit their own entries: %+v", st)
 	}
 }
 
@@ -63,12 +147,12 @@ func TestCacheRoundTripDeepCopies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Put(context.Background(), "Appro", in, s)
+	c.Put(context.Background(), "Appro", nil, in, s)
 	// Mutating the original after Put must not corrupt the cached copy.
 	s.Longest = -1
 	s.Tours[0].Stops[0].Covers[0] = -7
 
-	got, ok := c.Get(context.Background(), "Appro", in)
+	got, ok := c.Get(context.Background(), "Appro", nil, in)
 	if !ok {
 		t.Fatal("expected a hit")
 	}
@@ -76,12 +160,12 @@ func TestCacheRoundTripDeepCopies(t *testing.T) {
 		t.Fatal("cache returned memory shared with the Put schedule")
 	}
 	// Two Gets must not share memory with each other either.
-	again, _ := c.Get(context.Background(), "Appro", in)
+	again, _ := c.Get(context.Background(), "Appro", nil, in)
 	got.Tours[0].Stops[0].Covers[0] = -9
 	if again.Tours[0].Stops[0].Covers[0] == -9 {
 		t.Fatal("two Gets share memory")
 	}
-	if _, ok := c.Get(context.Background(), "K-EDF", in); ok {
+	if _, ok := c.Get(context.Background(), "K-EDF", nil, in); ok {
 		t.Fatal("hit across planner names")
 	}
 }
@@ -95,18 +179,18 @@ func TestCacheLRUEviction(t *testing.T) {
 		ins[i] = testInstance(5, int64(100+i))
 	}
 	for i := 0; i < 3; i++ {
-		c.Put(ctx, "p", ins[i], sched)
+		c.Put(ctx, "p", nil, ins[i], sched)
 	}
 	// Touch 0 so 1 becomes the LRU victim.
-	if _, ok := c.Get(ctx, "p", ins[0]); !ok {
+	if _, ok := c.Get(ctx, "p", nil, ins[0]); !ok {
 		t.Fatal("expected hit on 0")
 	}
-	c.Put(ctx, "p", ins[3], sched)
-	if _, ok := c.Get(ctx, "p", ins[1]); ok {
+	c.Put(ctx, "p", nil, ins[3], sched)
+	if _, ok := c.Get(ctx, "p", nil, ins[1]); ok {
 		t.Fatal("LRU entry 1 should have been evicted")
 	}
 	for _, i := range []int{0, 2, 3} {
-		if _, ok := c.Get(ctx, "p", ins[i]); !ok {
+		if _, ok := c.Get(ctx, "p", nil, ins[i]); !ok {
 			t.Fatalf("entry %d missing", i)
 		}
 	}
@@ -121,11 +205,11 @@ func TestCacheCounters(t *testing.T) {
 	ctx := obs.WithTracer(context.Background(), tr)
 	c := New(4)
 	in := testInstance(5, 3)
-	if _, ok := c.Get(ctx, "p", in); ok {
+	if _, ok := c.Get(ctx, "p", nil, in); ok {
 		t.Fatal("unexpected hit")
 	}
-	c.Put(ctx, "p", in, &core.Schedule{})
-	if _, ok := c.Get(ctx, "p", in); !ok {
+	c.Put(ctx, "p", nil, in, &core.Schedule{})
+	if _, ok := c.Get(ctx, "p", nil, in); !ok {
 		t.Fatal("expected hit")
 	}
 	got := tr.Report().Counters
@@ -141,10 +225,10 @@ func TestCacheCounters(t *testing.T) {
 func TestNilCacheIsNoOp(t *testing.T) {
 	var c *Cache
 	in := testInstance(3, 4)
-	if _, ok := c.Get(context.Background(), "p", in); ok {
+	if _, ok := c.Get(context.Background(), "p", nil, in); ok {
 		t.Fatal("nil cache hit")
 	}
-	c.Put(context.Background(), "p", in, &core.Schedule{})
+	c.Put(context.Background(), "p", nil, in, &core.Schedule{})
 	if c.Len() != 0 || c.Stats() != (Stats{}) {
 		t.Fatal("nil cache not empty")
 	}
@@ -208,13 +292,13 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				in := testInstance(4, int64(i%20))
 				name := fmt.Sprintf("p%d", g%3)
-				if s, ok := c.Get(context.Background(), name, in); ok {
+				if s, ok := c.Get(context.Background(), name, nil, in); ok {
 					if len(s.Tours) != 1 {
 						t.Error("corrupt cached schedule")
 						return
 					}
 				} else {
-					c.Put(context.Background(), name, in, &core.Schedule{Tours: []core.Tour{{}}})
+					c.Put(context.Background(), name, nil, in, &core.Schedule{Tours: []core.Tour{{}}})
 				}
 			}
 		}(g)

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServePlan measures sustained /v1/plan throughput over real
+// HTTP (httptest server + default transport). The warm variant replans
+// one instance and serves from the shared plan cache — the hot replan
+// path; the cold variant disables the cache so every request pays a full
+// Appro plan. cmd/wrsn-serve -loadgen drives the same handler from N
+// concurrent clients and records the req/s into BENCH_serve.json.
+func BenchmarkServePlan(b *testing.B) {
+	body, err := json.Marshal(testInstance(200, 2, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg Config) {
+		s := New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+	b.Run("warm-cache", func(b *testing.B) { run(b, Config{}) })
+	b.Run("cold-no-cache", func(b *testing.B) { run(b, Config{CacheCapacity: -1}) })
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/plancache"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/wrsn"
+)
+
+// PlanRequest is the /v1/plan request envelope. A request body may also
+// be a bare core.Instance (exactly what `wrsn-plan -dump-instance`
+// writes), which plans with the default planner and options.
+type PlanRequest struct {
+	// Planner names the algorithm ("" means Appro); the ?planner= query
+	// parameter overrides it.
+	Planner string `json:"planner,omitempty"`
+	// Instance is the problem to plan.
+	Instance *core.Instance `json:"instance"`
+	// Options tunes Appro (field names as in core.Options: MISOrder,
+	// Seed, NoSortByFinishTime, TourBuilder, TourRestarts, Workers).
+	Options *core.Options `json:"options,omitempty"`
+	// TimeoutMS is the per-request planning deadline in milliseconds,
+	// clamped to the server's MaxTimeout; 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SimulateRequest is the /v1/simulate request body. Provide either an
+// inline Network (the wrsn-gen JSON shape) or N (+Seed) to generate the
+// paper's standard deployment.
+type SimulateRequest struct {
+	// Network is an inline network; nil means generate one from N and
+	// Seed with the paper's parameters.
+	Network *wrsn.Network `json:"network,omitempty"`
+	// N is the sensor count for the generated network.
+	N int `json:"n,omitempty"`
+	// Seed seeds the generated network.
+	Seed int64 `json:"seed,omitempty"`
+	// K is the charger count; 0 means 2.
+	K int `json:"k,omitempty"`
+	// Planner names the algorithm ("" means Appro).
+	Planner string `json:"planner,omitempty"`
+	// Options tunes Appro.
+	Options *core.Options `json:"options,omitempty"`
+	// DurationDays is the monitored period; 0 means 30 days (the full
+	// paper year is available but rarely what an API caller wants to
+	// wait for).
+	DurationDays float64 `json:"duration_days,omitempty"`
+	// MaxRounds caps the charging rounds; 0 means no cap.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Verify runs the feasibility verifier on every round.
+	Verify bool `json:"verify,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds, clamped to
+	// the server's MaxTimeout; 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse summarizes a simulation run (sim.Result without the
+// per-round records, with the headline metrics converted to the units
+// the paper's figures use).
+type SimulateResponse struct {
+	Planner               string  `json:"planner"`
+	Rounds                int     `json:"rounds"`
+	AvgLongestHours       float64 `json:"avg_longest_hours"`
+	MaxLongestHours       float64 `json:"max_longest_hours"`
+	AvgDeadPerSensorHours float64 `json:"avg_dead_per_sensor_hours"`
+	DeadSensors           int     `json:"dead_sensors"`
+	Charges               int     `json:"charges"`
+	EnergyDeliveredJ      float64 `json:"energy_delivered_j"`
+	Violations            int     `json:"violations"`
+	FirstViolation        string  `json:"first_violation,omitempty"`
+	EndDays               float64 `json:"end_days"`
+}
+
+// errorResponse is the JSON body of every non-2xx /v1 response.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// decodePlanRequest reads the body as either the envelope or a bare
+// instance. Unknown fields are rejected in both shapes, so a typoed
+// envelope cannot silently plan a zero-value instance.
+func decodePlanRequest(r *http.Request, maxBytes int64) (*PlanRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	if int64(len(body)) > maxBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxBytes)
+	}
+	var req PlanRequest
+	envErr := decodeStrict(body, &req)
+	if envErr == nil && req.Instance != nil {
+		return &req, nil
+	}
+	// Fall back to a bare instance: its fields (depot, requests, ...) are
+	// unknown to the envelope, so exactly one of the two decodes accepts
+	// any given body.
+	var in core.Instance
+	if bareErr := decodeStrict(body, &in); bareErr != nil {
+		if envErr != nil {
+			return nil, fmt.Errorf("body is neither a plan envelope (%v) nor a bare instance (%v)", envErr, bareErr)
+		}
+		return nil, errors.New(`envelope has no "instance"`)
+	}
+	return &PlanRequest{Instance: &in}, nil
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// garbage.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	finish, ok := s.begin(w, "plan")
+	if !ok {
+		return
+	}
+	defer finish()
+
+	req, err := decodePlanRequest(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.writeError(w, "plan", http.StatusBadRequest, err.Error())
+		return
+	}
+	if q := r.URL.Query().Get("planner"); q != "" {
+		req.Planner = q
+	}
+	if err := req.Instance.Validate(); err != nil {
+		s.writeError(w, "plan", http.StatusBadRequest, err.Error())
+		return
+	}
+	planner, err := s.cfg.NewPlanner(req.Planner, req.Options)
+	if err != nil {
+		s.writeError(w, "plan", http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Cache lookup runs outside the admission pool: a hit is a hash plus
+	// a deep copy and should not queue behind a worker slot. Misses plan
+	// under admission control and publish the result for the next caller.
+	var opts *core.Options
+	if o, isOpt := planner.(plancache.Optioned); isOpt {
+		v := o.PlanOptions()
+		opts = &v
+	}
+	cacheState := "off"
+	var sched *core.Schedule
+	if s.cache != nil {
+		cacheState = "miss"
+		if hit, ok := s.cache.Get(ctx, planner.Name(), opts, req.Instance); ok {
+			sched, cacheState = hit, "hit"
+		}
+	}
+	start := time.Now()
+	if sched == nil {
+		admitted := s.admit(ctx, w, "plan", func(ctx context.Context) error {
+			out, err := planner.Plan(ctx, req.Instance)
+			if err != nil {
+				return err
+			}
+			if s.cache != nil {
+				s.cache.Put(ctx, planner.Name(), opts, req.Instance, out)
+			}
+			sched = out
+			return nil
+		})
+		if !admitted {
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Planner", planner.Name())
+	w.Header().Set("X-Plan-Cache", cacheState)
+	w.Header().Set("X-Plan-Seconds", strconv.FormatFloat(time.Since(start).Seconds(), 'f', 6, 64))
+	s.count("plan", http.StatusOK)
+	// The body is the canonical schedule encoding and nothing else —
+	// byte-identical to `wrsn-plan -json` on the same instance.
+	_ = export.WriteSchedule(w, sched)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	finish, ok := s.begin(w, "simulate")
+	if !ok {
+		return
+	}
+	defer finish()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil || int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.writeError(w, "simulate", http.StatusBadRequest, "unreadable or oversized body")
+		return
+	}
+	var req SimulateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		s.writeError(w, "simulate", http.StatusBadRequest, err.Error())
+		return
+	}
+	nw := req.Network
+	if nw == nil {
+		if req.N <= 0 {
+			s.writeError(w, "simulate", http.StatusBadRequest, `provide "network" or a positive "n"`)
+			return
+		}
+		if nw, err = workload.Generate(workload.NewParams(req.N), req.Seed); err != nil {
+			s.writeError(w, "simulate", http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		if err := nw.Validate(); err != nil {
+			s.writeError(w, "simulate", http.StatusBadRequest, err.Error())
+			return
+		}
+		nw.BuildRouting()
+	}
+	k := req.K
+	if k == 0 {
+		k = 2
+	}
+	planner, err := s.cfg.NewPlanner(req.Planner, req.Options)
+	if err != nil {
+		s.writeError(w, "simulate", http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cache != nil {
+		planner = plancache.Wrap(planner, s.cache)
+	}
+	days := req.DurationDays
+	if days <= 0 {
+		days = 30
+	}
+	cfg := sim.Config{
+		Duration:  days * 86400,
+		MaxRounds: req.MaxRounds,
+		Verify:    req.Verify,
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var res *sim.Result
+	admitted := s.admit(ctx, w, "simulate", func(ctx context.Context) error {
+		out, err := sim.Run(ctx, nw, k, planner, cfg)
+		if err != nil {
+			return err
+		}
+		res = out
+		return nil
+	})
+	if !admitted {
+		return
+	}
+	s.writeJSON(w, "simulate", http.StatusOK, SimulateResponse{
+		Planner:               res.Planner,
+		Rounds:                len(res.Rounds),
+		AvgLongestHours:       res.AvgLongest / 3600,
+		MaxLongestHours:       res.MaxLongest / 3600,
+		AvgDeadPerSensorHours: res.AvgDeadPerSensor / 3600,
+		DeadSensors:           res.DeadSensors,
+		Charges:               res.Charges,
+		EnergyDeliveredJ:      res.EnergyDelivered,
+		Violations:            res.Violations,
+		FirstViolation:        res.FirstViolation,
+		EndDays:               res.End / 86400,
+	})
+}
+
+// writeJSON writes v as an indented JSON response with the given status
+// and records the outcome.
+func (s *Server) writeJSON(w http.ResponseWriter, route string, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	s.count(route, status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body with the given status and records
+// the outcome.
+func (s *Server) writeError(w http.ResponseWriter, route string, status int, msg string) {
+	s.writeJSON(w, route, status, errorResponse{Error: msg, Status: status})
+}
+
+// count records one finished request for /metrics.
+func (s *Server) count(route string, status int) {
+	key := route + "|" + strconv.Itoa(status)
+	s.mu.Lock()
+	s.outcomes[key]++
+	s.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the server's state as Prometheus text exposition:
+// the obs tracer's stage timings and counters (the same data wrsn-plan
+// -trace-json reports, aggregated across every request this process has
+// served), the shared plan cache, the admission pool, and per-route HTTP
+// outcome counts. Series are emitted in sorted order so consecutive
+// scrapes diff cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	writeMetric := func(help, typ, name string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+
+	writeMetric("Seconds since the server started.", "counter",
+		"wrsn_serve_uptime_seconds", time.Since(s.started).Seconds())
+	drain := 0.0
+	if s.draining.Load() {
+		drain = 1
+	}
+	writeMetric("1 while the server is draining, else 0.", "gauge", "wrsn_serve_draining", drain)
+	writeMetric("Requests currently past admission checks.", "gauge",
+		"wrsn_serve_inflight_requests", float64(s.inflight.Load()))
+
+	// Planning-stage spans and engine counters from the shared tracer.
+	rep := s.tracer.Report()
+	stages := make([]string, 0, len(rep.Stages))
+	byName := map[string]int{}
+	for i, st := range rep.Stages {
+		byName[st.Name] = i
+		stages = append(stages, st.Name)
+	}
+	sort.Strings(stages)
+	fmt.Fprintf(&b, "# HELP wrsn_serve_stage_seconds_total Total seconds recorded per planning stage.\n# TYPE wrsn_serve_stage_seconds_total counter\n")
+	for _, name := range stages {
+		fmt.Fprintf(&b, "wrsn_serve_stage_seconds_total{stage=%q} %g\n", name, rep.Stages[byName[name]].Seconds)
+	}
+	fmt.Fprintf(&b, "# HELP wrsn_serve_stage_spans_total Spans recorded per planning stage.\n# TYPE wrsn_serve_stage_spans_total counter\n")
+	for _, name := range stages {
+		fmt.Fprintf(&b, "wrsn_serve_stage_spans_total{stage=%q} %d\n", name, rep.Stages[byName[name]].Count)
+	}
+	counters := make([]string, 0, len(rep.Counters))
+	for name := range rep.Counters {
+		counters = append(counters, name)
+	}
+	sort.Strings(counters)
+	fmt.Fprintf(&b, "# HELP wrsn_serve_engine_counter_total Engine counters (obs tracer).\n# TYPE wrsn_serve_engine_counter_total counter\n")
+	for _, name := range counters {
+		fmt.Fprintf(&b, "wrsn_serve_engine_counter_total{name=%q} %d\n", name, rep.Counters[name])
+	}
+
+	// Plan cache.
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		writeMetric("Plan cache hits.", "counter", "wrsn_serve_plancache_hits_total", float64(cs.Hits))
+		writeMetric("Plan cache misses.", "counter", "wrsn_serve_plancache_misses_total", float64(cs.Misses))
+		writeMetric("Plan cache insertions.", "counter", "wrsn_serve_plancache_puts_total", float64(cs.Puts))
+		writeMetric("Plan cache LRU evictions.", "counter", "wrsn_serve_plancache_evictions_total", float64(cs.Evictions))
+		writeMetric("Plan cache entries.", "gauge", "wrsn_serve_plancache_size", float64(cs.Size))
+		writeMetric("Plan cache capacity.", "gauge", "wrsn_serve_plancache_capacity", float64(cs.Capacity))
+	}
+
+	// Admission pool.
+	ps := s.pool.Stats()
+	writeMetric("Configured planning workers.", "gauge", "wrsn_serve_pool_workers", float64(ps.Workers))
+	writeMetric("Configured admission queue depth.", "gauge", "wrsn_serve_pool_queue_depth", float64(ps.QueueDepth))
+	writeMetric("Worker slots currently held.", "gauge", "wrsn_serve_pool_active", float64(ps.Active))
+	writeMetric("Callers currently queued for a slot.", "gauge", "wrsn_serve_pool_queued", float64(ps.Queued))
+	writeMetric("Tasks submitted to the pool.", "counter", "wrsn_serve_pool_submitted_total", float64(ps.Submitted))
+	writeMetric("Tasks rejected with ErrSaturated.", "counter", "wrsn_serve_pool_rejected_total", float64(ps.Rejected))
+	writeMetric("Tasks run to completion.", "counter", "wrsn_serve_pool_completed_total", float64(ps.Completed))
+
+	// HTTP outcomes.
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.outcomes))
+	for k := range s.outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "# HELP wrsn_serve_http_requests_total Finished requests by route and status.\n# TYPE wrsn_serve_http_requests_total counter\n")
+	for _, k := range keys {
+		route, status, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "wrsn_serve_http_requests_total{route=%q,code=%q} %d\n", route, status, s.outcomes[k])
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

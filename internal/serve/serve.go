@@ -1,0 +1,321 @@
+// Package serve is the online face of the planning engine: an HTTP/JSON
+// service that plans charging tours (and runs evaluation simulations) per
+// request, with the admission control, deadlines and observability that
+// serving traffic demands and a batch CLI does not.
+//
+// Endpoints:
+//
+//	POST /v1/plan      plan one instance; body is an instance or a
+//	                   {planner, instance, options, timeout_ms} envelope.
+//	                   The response body is the schedule encoded exactly
+//	                   as `wrsn-plan -json` writes it — byte-identical
+//	                   for equal instances — with request metadata in
+//	                   X-Planner / X-Plan-Cache / X-Plan-Seconds headers.
+//	POST /v1/simulate  run the paper's evaluation protocol on a network
+//	                   (either an inline network JSON or {n, seed}
+//	                   generator parameters) and return summary metrics.
+//	GET  /healthz      200 "ok" while serving, 503 "draining" during
+//	                   shutdown — flip load balancers away before the
+//	                   listener closes.
+//	GET  /metrics      Prometheus-style text: obs stage timings and
+//	                   counters, plan-cache stats, pool admission stats,
+//	                   and per-route HTTP outcome counts.
+//	GET  /debug/pprof  the standard net/http/pprof handlers.
+//
+// Concurrency and admission: planning runs through a bounded par.Pool
+// with Workers slots and an explicit QueueDepth. A request that finds
+// every worker busy and the queue full is rejected immediately with
+// 429 Too Many Requests and a Retry-After hint — overload sheds instead
+// of stacking latency. Each request plans under a deadline (its
+// timeout_ms, clamped to MaxTimeout, else DefaultTimeout) mapped onto the
+// engine's context plumbing, so a deadline that expires mid-plan aborts
+// the plan, frees the worker, and returns 504.
+//
+// All requests share one plan cache keyed on planner name, plan-shaping
+// options and canonical instance encoding, so a replan of an identical
+// network is a hash plus a deep copy. Responses are byte-identical with
+// and without the cache.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/plancache"
+)
+
+// Config tunes a Server. The zero value serves on :8080 with GOMAXPROCS
+// planning workers, a queue of DefaultQueueDepth, a DefaultCapacity plan
+// cache and a 30 s default / 5 min maximum per-request deadline.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8080" default;
+	// use "127.0.0.1:0" to let the kernel pick a test port).
+	Addr string
+	// Workers bounds concurrently planning requests; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a planning worker; beyond
+	// it requests are rejected with 429. 0 means DefaultQueueDepth;
+	// negative means no queue (reject as soon as all workers are busy).
+	QueueDepth int
+	// CacheCapacity sizes the shared plan cache: 0 means the plancache
+	// default, negative disables caching.
+	CacheCapacity int
+	// DefaultTimeout is the per-request planning deadline when the
+	// request names none; 0 means 30 s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; 0 means 5 min.
+	MaxTimeout time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight requests;
+	// 0 means 30 s.
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means 32 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint attached to 429 responses;
+	// 0 means 1 s.
+	RetryAfter time.Duration
+	// NewPlanner resolves a planner name and optional Appro options.
+	// nil means DefaultPlanner (the five paper algorithms).
+	NewPlanner func(name string, opts *core.Options) (core.Planner, error)
+	// Tracer, when non-nil, replaces the server's own tracer; stage
+	// timings and counters from every request aggregate into it and
+	// surface at /metrics.
+	Tracer *obs.Tracer
+}
+
+// DefaultQueueDepth is the admission queue bound used when
+// Config.QueueDepth is 0.
+const DefaultQueueDepth = 64
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = DefaultQueueDepth
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.NewPlanner == nil {
+		c.NewPlanner = DefaultPlanner
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.New()
+	}
+	return c
+}
+
+// DefaultPlanner resolves the five paper algorithms by name (the same
+// names wrsn-plan accepts); opts applies to Appro and is ignored by the
+// one-to-one baselines, which have no tunables.
+func DefaultPlanner(name string, opts *core.Options) (core.Planner, error) {
+	var o core.Options
+	if opts != nil {
+		o = *opts
+	}
+	switch name {
+	case "", "Appro", "appro":
+		return core.ApproPlanner{Opts: o}, nil
+	case "K-EDF", "k-edf", "kedf":
+		return baselines.KEDF{}, nil
+	case "NETWRAP", "netwrap":
+		return baselines.NETWRAP{}, nil
+	case "AA", "aa":
+		return baselines.AA{}, nil
+	case "K-minMax", "k-minmax", "kminmax":
+		return baselines.KMinMax{}, nil
+	default:
+		return nil, fmt.Errorf("unknown planner %q (want Appro, K-EDF, NETWRAP, AA or K-minMax)", name)
+	}
+}
+
+// Server is a planning service instance. Create one with New; it is
+// immutable configuration plus shared mutable serving state (pool, cache,
+// tracer, counters), all safe for concurrent use.
+type Server struct {
+	cfg    Config
+	pool   *par.Pool
+	cache  *plancache.Cache
+	tracer *obs.Tracer
+
+	draining atomic.Bool
+	inflight atomic.Int64 // /v1/* requests past admission checks
+	started  time.Time
+
+	mu       sync.Mutex
+	outcomes map[string]int64 // "route|status" -> count
+
+	addr atomic.Value // string; set once listening
+
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		pool:     par.NewPool(cfg.Workers, cfg.QueueDepth),
+		tracer:   cfg.Tracer,
+		started:  time.Now(),
+		outcomes: make(map[string]int64),
+	}
+	if cfg.CacheCapacity >= 0 {
+		s.cache = plancache.New(cfg.CacheCapacity)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr returns the bound listen address once ListenAndServe is
+// listening, else "".
+func (s *Server) Addr() string {
+	a, _ := s.addr.Load().(string)
+	return a
+}
+
+// Draining reports whether the server has begun a graceful drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// drains gracefully: the health check and all /v1 routes flip to 503
+// immediately, in-flight requests run to completion (bounded by
+// DrainTimeout), and only then does the listener close. It returns nil
+// after a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.addr.Store(ln.Addr().String())
+	hs := &http.Server{Handler: s.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	return s.drain(hs)
+}
+
+// drain performs the graceful shutdown sequence against hs.
+func (s *Server) drain(hs *http.Server) error {
+	s.draining.Store(true)
+	// Keep the listener open while in-flight work completes so late
+	// requests receive an explicit 503 (not a connection error), then
+	// close it. Bounded by DrainTimeout.
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	shCtx, cancel := context.WithDeadline(context.Background(), deadline.Add(time.Second))
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if n := s.inflight.Load(); n > 0 {
+		return fmt.Errorf("serve: drain: %d requests still in flight after %v", n, s.cfg.DrainTimeout)
+	}
+	return nil
+}
+
+// requestContext maps the request's deadline wish onto the context
+// plumbing: timeoutMS clamped to MaxTimeout, else DefaultTimeout, layered
+// over the HTTP request context (client disconnects cancel too) with the
+// server's tracer attached.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	ctx := obs.WithTracer(r.Context(), s.tracer)
+	return context.WithTimeout(ctx, d)
+}
+
+// admit runs fn through the admission pool, translating pool and context
+// failures to HTTP status codes. It returns false if the response has
+// already been written (rejection path).
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, route string, fn func(context.Context) error) bool {
+	err := s.pool.Run(ctx, fn)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, par.ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, route, http.StatusTooManyRequests, "server saturated: all planning workers busy and queue full")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, route, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is for our own books.
+		s.count(route, 499)
+	default:
+		s.writeError(w, route, http.StatusInternalServerError, err.Error())
+	}
+	return false
+}
+
+// begin performs the shared /v1 route preamble: drain check and in-flight
+// accounting. It reports whether the request may proceed; the caller must
+// defer the returned func when it does.
+func (s *Server) begin(w http.ResponseWriter, route string) (func(), bool) {
+	if s.draining.Load() {
+		w.Header().Set("Connection", "close")
+		s.writeError(w, route, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Add(-1) }, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/geom"
+)
+
+// testInstance builds the same planning regime wrsn-plan synthesizes:
+// sensors uniform in a 100x100 field with charge durations in
+// [1.2 h, 1.5 h].
+func testInstance(n, k int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &core.Instance{Depot: geom.Pt(50, 50), Gamma: 2.7, Speed: 1, K: k}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, core.Request{
+			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			Lifetime: (1 + rng.Float64()*6) * 86400,
+		})
+	}
+	return in
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestPlanGoldenByteIdentity is the tentpole acceptance test: the
+// /v1/plan response body must be byte-for-byte the canonical schedule
+// encoding the offline path (wrsn-plan -json) produces for the same
+// instance — cold through the planner and warm through the cache.
+func TestPlanGoldenByteIdentity(t *testing.T) {
+	in := testInstance(60, 2, 1)
+
+	// Offline reference: the default planner through the shared encoder.
+	planner, err := DefaultPlanner("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := planner.Plan(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := export.WriteSchedule(&want, sched); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, wantCache := range []string{"miss", "hit"} {
+		resp, got := postJSON(t, ts.URL+"/v1/plan", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("round %d: response is not byte-identical to the offline encoding\nserve: %q\noffline: %q",
+				round, truncate(got), truncate(want.Bytes()))
+		}
+		if c := resp.Header.Get("X-Plan-Cache"); c != wantCache {
+			t.Errorf("round %d: X-Plan-Cache = %q, want %q", round, c, wantCache)
+		}
+		if p := resp.Header.Get("X-Planner"); p != "Appro" {
+			t.Errorf("round %d: X-Planner = %q", round, p)
+		}
+	}
+}
+
+func truncate(b []byte) string {
+	if len(b) > 200 {
+		return string(b[:200]) + "..."
+	}
+	return string(b)
+}
+
+// TestPlanEnvelope exercises the envelope form: named planner, Appro
+// options, per-request timeout, and the ?planner= override.
+func TestPlanEnvelope(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := testInstance(40, 2, 2)
+	env := PlanRequest{Planner: "K-EDF", Instance: in, TimeoutMS: 30000}
+	body, _ := json.Marshal(env)
+	resp, out := postJSON(t, ts.URL+"/v1/plan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if p := resp.Header.Get("X-Planner"); p != "K-EDF" {
+		t.Errorf("X-Planner = %q, want K-EDF", p)
+	}
+	var sched core.Schedule
+	if err := json.Unmarshal(out, &sched); err != nil {
+		t.Fatalf("response is not a schedule: %v", err)
+	}
+	if len(sched.Tours) != in.K {
+		t.Errorf("got %d tours, want %d", len(sched.Tours), in.K)
+	}
+
+	// Appro options shape the plan: restarts request must still verify.
+	env = PlanRequest{Instance: in, Options: &core.Options{TourRestarts: 4}}
+	body, _ = json.Marshal(env)
+	if resp, out = postJSON(t, ts.URL+"/v1/plan", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("options plan: status %d: %s", resp.StatusCode, out)
+	}
+
+	// Query override beats the envelope.
+	env = PlanRequest{Planner: "Appro", Instance: in}
+	body, _ = json.Marshal(env)
+	resp, _ = postJSON(t, ts.URL+"/v1/plan?planner=NETWRAP", body)
+	if p := resp.Header.Get("X-Planner"); p != "NETWRAP" {
+		t.Errorf("X-Planner = %q, want NETWRAP (query override)", p)
+	}
+}
+
+func TestPlanBadRequests(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"garbage", `{"nope": 1}`},
+		{"empty object", `{}`},
+		{"zero K", `{"depot":{"x":0,"y":0},"gamma":2.7,"speed":1,"k":0}`},
+		{"unknown planner", `{"planner":"Dijkstra","instance":{"depot":{"x":0,"y":0},"gamma":2.7,"speed":1,"k":1}}`},
+		{"trailing garbage", `{"depot":{"x":0,"y":0},"gamma":2.7,"speed":1,"k":1} tail`},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, ts.URL+"/v1/plan", []byte(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, out)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q is not an errorResponse", tc.name, out)
+		}
+	}
+}
+
+// blockingPlanner signals when a plan starts and holds it until released,
+// then delegates to the real default planner. It lets tests pin a request
+// in flight deterministically.
+type blockingPlanner struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (p blockingPlanner) Name() string { return "slow" }
+
+func (p blockingPlanner) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
+	select {
+	case p.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-p.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return core.ApproPlanner{}.Plan(ctx, in)
+}
+
+// TestPlanSaturation429 drives the admission pool past workers+queue and
+// checks the overflow request is shed with 429 and a Retry-After hint.
+func TestPlanSaturation429(t *testing.T) {
+	bp := blockingPlanner{started: make(chan struct{}, 4), release: make(chan struct{})}
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: -1, // no queue: overflow rejects as soon as the worker is busy
+		RetryAfter: 2 * time.Second,
+		NewPlanner: func(string, *core.Options) (core.Planner, error) { return bp, nil },
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(testInstance(20, 2, 3))
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		firstDone <- resp.StatusCode
+	}()
+	select {
+	case <-bp.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first plan never started")
+	}
+
+	// Use a distinct instance so the overflow request cannot be served
+	// from the cache fast path.
+	body2, _ := json.Marshal(testInstance(21, 2, 4))
+	resp, out := postJSON(t, ts.URL+"/v1/plan", body2)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429 (%s)", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	close(bp.release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+}
+
+// TestPlanDeadline504 maps an expired per-request deadline to 504.
+func TestPlanDeadline504(t *testing.T) {
+	s := New(Config{CacheCapacity: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	env := PlanRequest{Instance: testInstance(400, 2, 5), TimeoutMS: 1}
+	body, _ := json.Marshal(env)
+	resp, out := postJSON(t, ts.URL+"/v1/plan", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", resp.StatusCode, out)
+	}
+}
+
+// TestGracefulDrainSIGTERM is the drain acceptance test: with a request
+// pinned in flight, SIGTERM must flip /healthz and new /v1 requests to
+// 503 while the in-flight request runs to a normal 200, and
+// ListenAndServe must return nil — zero dropped in-flight requests.
+func TestGracefulDrainSIGTERM(t *testing.T) {
+	bp := blockingPlanner{started: make(chan struct{}, 1), release: make(chan struct{})}
+	s := New(Config{
+		Addr:         "127.0.0.1:0",
+		Workers:      2,
+		DrainTimeout: 20 * time.Second,
+		NewPlanner:   func(string, *core.Options) (core.Planner, error) { return bp, nil },
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.ListenAndServe(ctx) }()
+	waitFor(t, func() bool { return s.Addr() != "" })
+	base := "http://" + s.Addr()
+
+	// Pin one request in flight.
+	body, _ := json.Marshal(testInstance(30, 2, 6))
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		inflight <- resp.StatusCode
+	}()
+	select {
+	case <-bp.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight plan never started")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s.Draining)
+
+	// New work is refused while the in-flight request still runs.
+	if resp, err := http.Get(base + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+		}
+	}
+	resp, out := postJSON(t, base+"/v1/plan", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /v1/plan = %d, want 503 (%s)", resp.StatusCode, out)
+	}
+
+	// Release the pinned request: it must finish with a clean 200.
+	close(bp.release)
+	select {
+	case code := <-inflight:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ListenAndServe returned %v after drain, want nil", err)
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("server never finished draining")
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SimulateRequest{N: 40, Seed: 1, K: 2, DurationDays: 20, MaxRounds: 3, Verify: true}
+	body, _ := json.Marshal(req)
+	resp, out := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Planner != "Appro" || sr.Rounds < 1 || sr.Charges < 1 {
+		t.Errorf("implausible summary: %+v", sr)
+	}
+	if sr.Violations != 0 {
+		t.Errorf("%d violations: %s", sr.Violations, sr.FirstViolation)
+	}
+}
+
+// TestMetricsEndpoint checks that a served plan surfaces in every metric
+// family: HTTP outcomes, pool, cache, and the engine's obs stage spans.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(testInstance(30, 2, 7))
+	if resp, out := postJSON(t, ts.URL+"/v1/plan", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %s", resp.StatusCode, out)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		`wrsn_serve_http_requests_total{route="plan",code="200"} 1`,
+		`wrsn_serve_pool_completed_total 1`,
+		`wrsn_serve_plancache_misses_total 1`,
+		`wrsn_serve_plancache_size 1`,
+		`wrsn_serve_stage_seconds_total{stage="charging-graph"}`,
+		`wrsn_serve_stage_spans_total{stage="insertion"} 1`,
+		`wrsn_serve_engine_counter_total{name="cache.misses"}`,
+		"wrsn_serve_uptime_seconds",
+		"wrsn_serve_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

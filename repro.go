@@ -195,9 +195,11 @@ func Planners() []Planner {
 // completion order.
 
 // PlanCache is a bounded LRU memoizing planner outputs by (planner name,
-// instance). Hits return deep copies of exactly what the planner produced
-// cold, so cached and uncached runs are byte-identical. Safe for concurrent
-// use; hit/miss/eviction counters land on any Tracer in the context.
+// plan-shaping options, instance). Hits return deep copies of exactly what
+// the planner produced cold, so cached and uncached runs are
+// byte-identical; planners sharing a name but planning under different
+// ApproOptions never serve each other's entries. Safe for concurrent use;
+// hit/miss/eviction counters land on any Tracer in the context.
 type PlanCache = plancache.Cache
 
 // NewPlanCache returns a plan cache holding at most capacity schedules
@@ -205,7 +207,9 @@ type PlanCache = plancache.Cache
 func NewPlanCache(capacity int) *PlanCache { return plancache.New(capacity) }
 
 // CachedPlanner wraps p so repeated plans of an identical instance are
-// served from c. The wrapper keeps p's name; errors are never cached.
+// served from c. The wrapper keeps p's name and folds p's plan-shaping
+// options into the cache key when p exposes them (as NewApproPlanner's
+// result does); errors are never cached.
 func CachedPlanner(p Planner, c *PlanCache) Planner { return plancache.Wrap(p, c) }
 
 // PlanConcurrently plans the same instance under every planner on a bounded
