@@ -116,7 +116,7 @@ func run(ctx context.Context, fig string, opt experiments.Options, csv bool, svg
 			}
 		}
 	case "ablation":
-		for _, id := range []string{experiments.AblationMIS, experiments.AblationInsertion, experiments.AblationTourBuilder, experiments.AblationDispatch, experiments.AblationPartial} {
+		for _, id := range []string{experiments.AblationMIS, experiments.AblationInsertion, experiments.AblationTourBuilder, experiments.AblationDispatch, experiments.AblationPartial, experiments.AblationContender} {
 			if err := runAblation(ctx, id, opt, csv); err != nil {
 				return err
 			}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro"
 	"repro/internal/export"
@@ -27,11 +28,11 @@ func main() {
 	var (
 		n         = flag.Int("n", 400, "number of charging requests in V_s")
 		k         = flag.Int("k", 2, "number of mobile chargers")
-		name      = flag.String("planner", "Appro", "algorithm: Appro, K-EDF, NETWRAP, AA or K-minMax")
+		name      = flag.String("planner", "Appro", "algorithm: "+strings.Join(repro.PlannerNames(), ", ")+" (case-insensitive, aliases accepted)")
 		seed      = flag.Int64("seed", 1, "request set seed")
 		svgPath   = flag.String("svg", "", "write an SVG rendering of the tours to this file")
 		gantt     = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
-		compare   = flag.Bool("compare", false, "plan with all five algorithms and compare objectives")
+		compare   = flag.Bool("compare", false, "plan with every registered algorithm and compare objectives")
 		workers   = flag.Int("workers", 0, "plan the -compare algorithms concurrently on this many workers (0 = GOMAXPROCS); output is identical at any value")
 		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, options, instance) in a bounded in-memory LRU")
 		jsonOut   = flag.Bool("json", false, "print the schedule as canonical JSON instead of text (byte-identical to a wrsn-serve /v1/plan response)")
@@ -163,8 +164,8 @@ func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttP
 				ps[i] = repro.CachedPlanner(ps[i], cache)
 			}
 		}
-		// The five algorithms run concurrently; results come back in
-		// planner order so the table is identical at any worker count.
+		// The registered algorithms run concurrently; results come back
+		// in planner order so the table is identical at any worker count.
 		schedules, err := repro.PlanConcurrently(ctx, in, ps, workers)
 		if err != nil {
 			return err

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 
 	"repro"
 	"repro/internal/export"
@@ -27,7 +28,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 1000, "number of sensors (paper: 200..1200)")
 		k       = flag.Int("k", 2, "number of mobile chargers (paper: 1..5)")
-		name    = flag.String("planner", "Appro", "algorithm: Appro, K-EDF, NETWRAP, AA or K-minMax")
+		name    = flag.String("planner", "Appro", "algorithm: "+strings.Join(repro.PlannerNames(), ", ")+" (case-insensitive, aliases accepted)")
 		days    = flag.Float64("days", 365, "monitored period in days")
 		window  = flag.Float64("window", repro.DefaultBatchWindow/3600, "dispatch batching window in hours")
 		seed    = flag.Int64("seed", 1, "network generation seed")

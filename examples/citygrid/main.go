@@ -1,5 +1,5 @@
 // Citygrid: a smart-city air-quality deployment — sensors on a regular
-// street-grid lattice — comparing all five scheduling algorithms on a
+// street-grid lattice — comparing every registered scheduling algorithm on a
 // single dense charging round and then over a three-month simulation.
 //
 // The example shows (1) building an Instance by hand from an existing

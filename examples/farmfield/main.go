@@ -63,4 +63,25 @@ func main() {
 			res.AvgDeadPerSensor/60, res.DeadSensors)
 	}
 	fmt.Println("\nthe K=1 -> K=2 drop is steep and flattens after — match the fleet to the knee")
+
+	// Would a heavier planning search buy the farm anything? Re-run the
+	// K=2 season with the BiLevel metaheuristic contender (registry name
+	// resolution is case-insensitive, so "bilevel" works too).
+	bl, err := repro.NewPlanner("bilevel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(context.Background(), nw, 2, bl, repro.SimConfig{
+		Duration:    season,
+		BatchWindow: 6 * 3600,
+		Verify:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Violations != 0 {
+		log.Fatalf("%s: %d feasibility violations", bl.Name(), res.Violations)
+	}
+	fmt.Printf("\n%s, K=2: avg longest tour %.2f h (max %.2f h), %d sensors died — verifier clean\n",
+		bl.Name(), res.AvgLongest/3600, res.MaxLongest/3600, res.DeadSensors)
 }

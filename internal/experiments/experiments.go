@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/graph"
@@ -23,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plancache"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -135,25 +135,18 @@ type sweepSpec struct {
 	faults func(x float64, seed int64) *fault.Plan
 }
 
-// planners returns the five algorithms in the paper's presentation order.
+// planners returns the paper's five algorithms in its presentation
+// order, resolved through the planner registry. The figure harness
+// sweeps exactly this set — registered extensions (BiLevel) enter the
+// evaluation through the "contender" ablation instead, keeping the
+// regenerated figures faithful to the paper's five curves.
 func planners() []core.Planner {
-	return []core.Planner{
-		core.ApproPlanner{},
-		baselines.KEDF{},
-		baselines.NETWRAP{},
-		baselines.AA{},
-		baselines.KMinMax{},
-	}
+	return registry.PaperPlanners()
 }
 
 // PlannerNames returns the algorithm names in the paper's order.
 func PlannerNames() []string {
-	ps := planners()
-	out := make([]string, len(ps))
-	for i, p := range ps {
-		out[i] = p.Name()
-	}
-	return out
+	return registry.PaperNames()
 }
 
 func figure3() sweepSpec {
@@ -428,6 +421,11 @@ const (
 	// AblationPartial sweeps the partial-charging level (the model of the
 	// paper's reference [15]) over year-long simulations.
 	AblationPartial = "partial"
+	// AblationContender pits Algorithm Appro against the registered
+	// bi-level metaheuristic contender (and its seed/restart variants)
+	// on dense single rounds — the judge for extensions that are not
+	// part of the paper's five figure curves.
+	AblationContender = "contender"
 )
 
 // AblationResult is one variant's aggregate outcome for a single dense
@@ -470,28 +468,38 @@ func RunAblation(ctx context.Context, id string, opt Options) ([]AblationResult,
 		return runPartialAblation(ctx, opt)
 	}
 	type variant struct {
-		name string
-		opts core.Options
+		name    string
+		planner core.Planner
 	}
+	// Every variant resolves through the planner registry, like the
+	// figure harness and the serving layer.
+	appro := func(opts core.Options) core.Planner { return registry.MustNew("Appro", &opts) }
 	var variants []variant
 	switch id {
 	case AblationMIS:
 		for _, ord := range []graph.MISOrder{
 			graph.MISMaxDegree, graph.MISMinDegree, graph.MISLexicographic, graph.MISRandom,
 		} {
-			variants = append(variants, variant{name: "mis-" + ord.String(), opts: core.Options{MISOrder: ord}})
+			variants = append(variants, variant{name: "mis-" + ord.String(), planner: appro(core.Options{MISOrder: ord})})
 		}
 	case AblationInsertion:
 		variants = append(variants,
-			variant{name: "sorted-by-finish-time", opts: core.Options{}},
-			variant{name: "arbitrary-order", opts: core.Options{NoSortByFinishTime: true}},
+			variant{name: "sorted-by-finish-time", planner: appro(core.Options{})},
+			variant{name: "arbitrary-order", planner: appro(core.Options{NoSortByFinishTime: true})},
 		)
 	case AblationTourBuilder:
 		for _, b := range []ktour.Builder{
 			ktour.BuilderChristofides, ktour.BuilderMST, ktour.BuilderNearestNeighbor,
 		} {
-			variants = append(variants, variant{name: "tour-" + b.String(), opts: core.Options{TourBuilder: b}})
+			variants = append(variants, variant{name: "tour-" + b.String(), planner: appro(core.Options{TourBuilder: b})})
 		}
+	case AblationContender:
+		variants = append(variants,
+			variant{name: "appro", planner: appro(core.Options{})},
+			variant{name: "bilevel-seed-1", planner: registry.MustNew("BiLevel", &core.Options{Seed: 1})},
+			variant{name: "bilevel-seed-2", planner: registry.MustNew("BiLevel", &core.Options{Seed: 2})},
+			variant{name: "bilevel-restarts-8", planner: registry.MustNew("BiLevel", &core.Options{Seed: 1, TourRestarts: 8})},
+		)
 	default:
 		return nil, fmt.Errorf("experiments: unknown ablation %q", id)
 	}
@@ -506,7 +514,7 @@ func RunAblation(ctx context.Context, id string, opt Options) ([]AblationResult,
 					return out, fmt.Errorf("experiments: ablation %s: %w", id, err)
 				}
 				in := denseRound(n, opt.Seed+int64(inst)+1)
-				s, err := core.ApproPlanner{Opts: v.opts}.Plan(ctx, in)
+				s, err := v.planner.Plan(ctx, in)
 				if err != nil {
 					if cerr := ctx.Err(); cerr != nil {
 						return out, fmt.Errorf("experiments: ablation %s: %w", id, cerr)

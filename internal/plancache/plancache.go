@@ -5,7 +5,10 @@
 //
 // A Cache maps an instance key to a stored *core.Schedule. The key is the
 // FNV-1a (128-bit) hash of a canonical binary encoding of everything the
-// planners read: the planner's name, a canonical encoding of the
+// planners read: the planner's canonical registry name (see Identity —
+// internal/registry panics at init when two planners register one name
+// or an alias shadows one, so keys can never alias across algorithms),
+// a canonical encoding of the
 // plan-shaping core.Options fields (see KeyOf), the depot, gamma, the
 // travel speed, K and every request's position, duration and lifetime, in
 // request order. Any single difference that can change the plan — one
@@ -36,6 +39,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ktour"
 	"repro/internal/obs"
+	"repro/internal/registry"
 )
 
 // DefaultCapacity is the entry bound used when New is given a
@@ -49,13 +53,32 @@ const DefaultCapacity = 256
 type Key [16]byte
 
 // Optioned is the optional interface a core.Planner implements to expose
-// the core.Options shaping its plans. Wrap consults it so two planners
-// that share a Name but differ in plan-changing options (e.g. two
-// ApproPlanners with different TourRestarts) never alias to one cache
-// entry.
+// the core.Options shaping its plans. Identity consults it so two
+// planners that share a Name but differ in plan-changing options (e.g.
+// two ApproPlanners with different TourRestarts) never alias to one
+// cache entry.
 type Optioned interface {
 	// PlanOptions returns the options the planner plans under.
 	PlanOptions() core.Options
+}
+
+// Identity resolves the pair a cache keys p under: the planner's
+// canonical registry name — Lookup collapses aliases, case variants and
+// wrappers that preserve Name to one spelling — and its plan-shaping
+// options when it exposes them via Optioned (nil otherwise, the zero
+// options). Keys derived this way can never alias across algorithms:
+// the registry panics at init when two planners register one canonical
+// name or an alias shadows an existing name.
+func Identity(p core.Planner) (name string, opts *core.Options) {
+	name = p.Name()
+	if e, ok := registry.Lookup(name); ok {
+		name = e.Name
+	}
+	if o, ok := p.(Optioned); ok {
+		v := o.PlanOptions()
+		opts = &v
+	}
+	return name, opts
 }
 
 // canonOptions maps opts to the canonical representative of its
@@ -287,6 +310,7 @@ func Clone(s *core.Schedule) *core.Schedule {
 // cachedPlanner adapts a Planner with read-through caching.
 type cachedPlanner struct {
 	p    core.Planner
+	name string // canonical key name, resolved once by Identity
 	opts *core.Options
 	c    *Cache
 }
@@ -295,18 +319,16 @@ type cachedPlanner struct {
 // and stores p's successful results. A nil cache returns p unchanged. The
 // wrapped planner keeps p's Name, so caching is invisible to result
 // tables, and byte-identical to p's output: a hit returns a deep copy of
-// exactly what p produced for the equal instance. When p implements
-// Optioned its options join the key, so planners sharing a name but
-// planning under different options never serve each other's entries.
+// exactly what p produced for the equal instance. Keys use Identity:
+// the canonical registry name plus p's plan-shaping options when it
+// implements Optioned, so planners sharing a name but planning under
+// different options never serve each other's entries.
 func Wrap(p core.Planner, c *Cache) core.Planner {
 	if c == nil {
 		return p
 	}
 	cp := cachedPlanner{p: p, c: c}
-	if o, ok := p.(Optioned); ok {
-		opts := o.PlanOptions()
-		cp.opts = &opts
-	}
+	cp.name, cp.opts = Identity(p)
 	return cp
 }
 
@@ -315,13 +337,13 @@ func (cp cachedPlanner) Name() string { return cp.p.Name() }
 
 // Plan implements core.Planner with read-through memoization.
 func (cp cachedPlanner) Plan(ctx context.Context, in *core.Instance) (*core.Schedule, error) {
-	if s, ok := cp.c.Get(ctx, cp.p.Name(), cp.opts, in); ok {
+	if s, ok := cp.c.Get(ctx, cp.name, cp.opts, in); ok {
 		return s, nil
 	}
 	s, err := cp.p.Plan(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	cp.c.Put(ctx, cp.p.Name(), cp.opts, in, s)
+	cp.c.Put(ctx, cp.name, cp.opts, in, s)
 	return s, nil
 }

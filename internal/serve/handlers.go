@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/plancache"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/wrsn"
@@ -163,16 +164,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Cache lookup runs outside the admission pool: a hit is a hash plus
 	// a deep copy and should not queue behind a worker slot. Misses plan
 	// under admission control and publish the result for the next caller.
-	var opts *core.Options
-	if o, isOpt := planner.(plancache.Optioned); isOpt {
-		v := o.PlanOptions()
-		opts = &v
-	}
+	// The key identity (canonical registry name + plan-shaping options)
+	// comes from plancache.Identity, so an aliased or lowercased
+	// ?planner= spelling hits the same entries as the canonical one.
+	cacheName, opts := plancache.Identity(planner)
 	cacheState := "off"
 	var sched *core.Schedule
 	if s.cache != nil {
 		cacheState = "miss"
-		if hit, ok := s.cache.Get(ctx, planner.Name(), opts, req.Instance); ok {
+		if hit, ok := s.cache.Get(ctx, cacheName, opts, req.Instance); ok {
 			sched, cacheState = hit, "hit"
 		}
 	}
@@ -184,7 +184,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 			if s.cache != nil {
-				s.cache.Put(ctx, planner.Name(), opts, req.Instance, out)
+				s.cache.Put(ctx, cacheName, opts, req.Instance, out)
 			}
 			sched = out
 			return nil
@@ -202,6 +202,18 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// The body is the canonical schedule encoding and nothing else —
 	// byte-identical to `wrsn-plan -json` on the same instance.
 	_ = export.WriteSchedule(w, sched)
+}
+
+// handlePlanners serves GET /v1/planners: the registry's listing of
+// every planner the ?planner= parameter resolves — canonical names,
+// aliases, capability flags and the default marker.
+func (s *Server) handlePlanners(w http.ResponseWriter, _ *http.Request) {
+	finish, ok := s.begin(w, "planners")
+	if !ok {
+		return
+	}
+	defer finish()
+	s.writeJSON(w, "planners", http.StatusOK, registry.List())
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,11 @@
 //	POST /v1/simulate  run the paper's evaluation protocol on a network
 //	                   (either an inline network JSON or {n, seed}
 //	                   generator parameters) and return summary metrics.
+//	GET  /v1/planners  list the registered planners: canonical names,
+//	                   aliases, capability flags, and which is the
+//	                   default — straight from the planner registry, so
+//	                   the listing can never drift from what ?planner=
+//	                   accepts.
 //	GET  /healthz      200 "ok" while serving, 503 "draining" during
 //	                   shutdown — flip load balancers away before the
 //	                   listener closes.
@@ -49,11 +54,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plancache"
+	"repro/internal/registry"
 )
 
 // Config tunes a Server. The zero value serves on :8080 with GOMAXPROCS
@@ -86,8 +91,8 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 429 responses;
 	// 0 means 1 s.
 	RetryAfter time.Duration
-	// NewPlanner resolves a planner name and optional Appro options.
-	// nil means DefaultPlanner (the five paper algorithms).
+	// NewPlanner resolves a planner name and optional plan-shaping
+	// options. nil means DefaultPlanner (the planner registry).
 	NewPlanner func(name string, opts *core.Options) (core.Planner, error)
 	// Tracer, when non-nil, replaces the server's own tracer; stage
 	// timings and counters from every request aggregate into it and
@@ -133,28 +138,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// DefaultPlanner resolves the five paper algorithms by name (the same
-// names wrsn-plan accepts); opts applies to Appro and is ignored by the
-// one-to-one baselines, which have no tunables.
+// DefaultPlanner resolves planner names through the planner registry
+// (internal/registry): the same names, aliases and case-insensitive
+// matching wrsn-plan accepts. The empty name selects the registry's
+// default planner (Appro). Options apply to planners that fold them into
+// plans and are ignored by the one-to-one baselines, which have no
+// tunables. Unknown names return an error listing every valid name —
+// the body of the resulting 400.
 func DefaultPlanner(name string, opts *core.Options) (core.Planner, error) {
-	var o core.Options
-	if opts != nil {
-		o = *opts
-	}
-	switch name {
-	case "", "Appro", "appro":
-		return core.ApproPlanner{Opts: o}, nil
-	case "K-EDF", "k-edf", "kedf":
-		return baselines.KEDF{}, nil
-	case "NETWRAP", "netwrap":
-		return baselines.NETWRAP{}, nil
-	case "AA", "aa":
-		return baselines.AA{}, nil
-	case "K-minMax", "k-minmax", "kminmax":
-		return baselines.KMinMax{}, nil
-	default:
-		return nil, fmt.Errorf("unknown planner %q (want Appro, K-EDF, NETWRAP, AA or K-minMax)", name)
-	}
+	return registry.New(name, opts)
 }
 
 // Server is a planning service instance. Create one with New; it is
@@ -194,6 +186,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/planners", s.handlePlanners)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)

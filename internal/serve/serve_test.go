@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/registry"
 )
 
 // testInstance builds the same planning regime wrsn-plan synthesizes:
@@ -169,6 +170,79 @@ func TestPlanBadRequests(t *testing.T) {
 		if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body %q is not an errorResponse", tc.name, out)
 		}
+		if tc.name == "unknown planner" {
+			// The 400 body must name every valid planner (satellite of the
+			// registry contract): the client can self-serve the fix.
+			for _, name := range registry.Names() {
+				if !strings.Contains(e.Error, name) {
+					t.Errorf("unknown-planner 400 body %q does not list %q", e.Error, name)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerAliasResolution plans through aliased and lowercased
+// ?planner= spellings and checks the canonical planner answers (the
+// X-Planner header) — the registry's case-insensitive resolution as seen
+// over HTTP.
+func TestPlannerAliasResolution(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(testInstance(20, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for spelling, want := range map[string]string{
+		"bilevel": "BiLevel", "BLM": "BiLevel", "kedf": "K-EDF", "k-minmax": "K-minMax", "APPRO": "Appro",
+	} {
+		resp, out := postJSON(t, ts.URL+"/v1/plan?planner="+spelling, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("?planner=%s: status %d (%s)", spelling, resp.StatusCode, out)
+			continue
+		}
+		if got := resp.Header.Get("X-Planner"); got != want {
+			t.Errorf("?planner=%s: X-Planner %q, want %q", spelling, got, want)
+		}
+	}
+}
+
+// TestPlannersEndpoint checks GET /v1/planners serves the registry
+// listing: every registered planner, registration order, default marked.
+func TestPlannersEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/planners")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, out)
+	}
+	var infos []registry.Info
+	if err := json.Unmarshal(out, &infos); err != nil {
+		t.Fatalf("body %q: %v", out, err)
+	}
+	want := registry.Names()
+	if len(infos) != len(want) {
+		t.Fatalf("listing has %d planners, registry %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.Name != want[i] {
+			t.Errorf("listing[%d] = %q, want %q", i, info.Name, want[i])
+		}
+		if info.Default != (i == 0) {
+			t.Errorf("listing[%d].Default = %v", i, info.Default)
+		}
 	}
 }
 
@@ -243,9 +317,15 @@ func TestPlanSaturation429(t *testing.T) {
 	}
 }
 
-// TestPlanDeadline504 maps an expired per-request deadline to 504.
+// TestPlanDeadline504 maps an expired per-request deadline to 504. The
+// planner blocks until the deadline fires (never released), so the test
+// is deterministic at any machine speed.
 func TestPlanDeadline504(t *testing.T) {
-	s := New(Config{CacheCapacity: -1})
+	bp := blockingPlanner{started: make(chan struct{}, 1), release: make(chan struct{})}
+	s := New(Config{
+		CacheCapacity: -1,
+		NewPlanner:    func(string, *core.Options) (core.Planner, error) { return bp, nil },
+	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,32 @@
+package repro_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// TestReadmePlannerTable regenerates the planner table from the registry
+// and compares it to the block README.md embeds between the
+// planner-table markers, so the documented table cannot drift from the
+// registered planners. On failure, paste the "want" block into README.
+func TestReadmePlannerTable(t *testing.T) {
+	const begin, end = "<!-- planner-table:begin -->", "<!-- planner-table:end -->"
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	i := strings.Index(md, begin)
+	j := strings.Index(md, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(md[i+len(begin) : j])
+	want := strings.TrimSpace(registry.MarkdownTable())
+	if got != want {
+		t.Errorf("README planner table drifted from the registry.\n--- README has ---\n%s\n--- registry says ---\n%s", got, want)
+	}
+}

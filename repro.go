@@ -9,7 +9,9 @@
 //   - the paper's Algorithm Appro (Appro, PlanAppro, NewApproPlanner) and
 //     the conflict-aware executor and feasibility verifier (Execute,
 //     Verify);
-//   - the four baselines the paper evaluates against (NewPlanner, Planners);
+//   - the planner registry (internal/registry) resolving the paper's
+//     four baselines and registered extensions by name or alias
+//     (NewPlanner, NewPlannerWithOptions, Planners, PlannerNames);
 //   - the WRSN world model and workload generator (Network, GenerateNetwork);
 //   - the one-year evaluation simulator (Simulate, SimConfig) and the
 //     figure harness (RunFigure) that regenerates the paper's Figures 3-5.
@@ -28,10 +30,8 @@ package repro
 
 import (
 	"context"
-	"fmt"
 	"io"
 
-	"repro/internal/baselines"
 	"repro/internal/capacitated"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plancache"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/workload"
 	"repro/internal/wrsn"
@@ -162,30 +163,34 @@ func NewApproPlanner(opts ApproOptions) Planner {
 	return core.ApproPlanner{Opts: opts}
 }
 
-// NewPlanner returns a planner by its paper name: "Appro", "K-EDF",
-// "NETWRAP", "AA" or "K-minMax".
+// NewPlanner resolves a planner by name through the planner registry
+// (internal/registry): the paper's "Appro", "K-EDF", "NETWRAP", "AA" and
+// "K-minMax" plus registered extensions such as "BiLevel". Resolution is
+// case-insensitive over canonical names and aliases; the empty string
+// selects the default planner (Appro). Unknown names return an error
+// listing every valid name.
 func NewPlanner(name string) (Planner, error) {
-	switch name {
-	case "Appro", "appro":
-		return core.ApproPlanner{}, nil
-	case "K-EDF", "k-edf", "kedf":
-		return baselines.KEDF{}, nil
-	case "NETWRAP", "netwrap":
-		return baselines.NETWRAP{}, nil
-	case "AA", "aa":
-		return baselines.AA{}, nil
-	case "K-minMax", "k-minmax", "kminmax":
-		return baselines.KMinMax{}, nil
-	default:
-		return nil, fmt.Errorf("repro: unknown planner %q (want Appro, K-EDF, NETWRAP, AA or K-minMax)", name)
-	}
+	return registry.New(name, nil)
 }
 
-// Planners returns all five algorithms in the paper's presentation order:
-// Appro first, then the four baselines.
+// NewPlannerWithOptions resolves a planner by name and constructs it
+// under the given plan-shaping options. Planners without tunables (the
+// one-to-one baselines) ignore them.
+func NewPlannerWithOptions(name string, opts ApproOptions) (Planner, error) {
+	return registry.New(name, &opts)
+}
+
+// Planners returns every registered algorithm in presentation order: the
+// paper's five (Appro first, then the four baselines) followed by this
+// reproduction's extensions (BiLevel).
 func Planners() []Planner {
-	out := []Planner{core.ApproPlanner{}}
-	return append(out, baselines.All()...)
+	return registry.Planners()
+}
+
+// PlannerNames returns the canonical names of every registered planner,
+// in the same order as Planners.
+func PlannerNames() []string {
+	return registry.Names()
 }
 
 // Deterministic parallelism and plan caching (see internal/par and

@@ -52,7 +52,7 @@ func TestPublicApproThenExecute(t *testing.T) {
 }
 
 func TestNewPlannerNames(t *testing.T) {
-	for _, name := range []string{"Appro", "K-EDF", "NETWRAP", "AA", "K-minMax", "appro", "kminmax"} {
+	for _, name := range []string{"Appro", "K-EDF", "NETWRAP", "AA", "K-minMax", "BiLevel", "appro", "kedf", "kminmax", "bilevel", "bi-level", "BLM"} {
 		if _, err := repro.NewPlanner(name); err != nil {
 			t.Errorf("NewPlanner(%q): %v", name, err)
 		}
@@ -64,8 +64,45 @@ func TestNewPlannerNames(t *testing.T) {
 
 func TestPlannersOrder(t *testing.T) {
 	ps := repro.Planners()
-	if len(ps) != 5 || ps[0].Name() != "Appro" {
-		t.Fatalf("Planners() = %v", ps)
+	if len(ps) != 6 || ps[0].Name() != "Appro" || ps[5].Name() != "BiLevel" {
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = p.Name()
+		}
+		t.Fatalf("Planners() = %v", names)
+	}
+}
+
+// TestRegistryCoverageGuard keeps the comparison surfaces honest: every
+// registered planner must be exercised by the golden objective table
+// (and therefore by the -compare path and BenchmarkPlanners, which both
+// range over repro.Planners()). Registering a planner without extending
+// goldenObjectives fails here, not silently.
+func TestRegistryCoverageGuard(t *testing.T) {
+	names := repro.PlannerNames()
+	if len(names) != len(goldenObjectives) {
+		t.Errorf("registry has %d planners, goldenObjectives has %d entries", len(names), len(goldenObjectives))
+	}
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		seen[name] = true
+		if _, ok := goldenObjectives[name]; !ok {
+			t.Errorf("registered planner %q has no golden objective", name)
+		}
+	}
+	for name := range goldenObjectives {
+		if !seen[name] {
+			t.Errorf("goldenObjectives entry %q is not a registered planner", name)
+		}
+	}
+	ps := repro.Planners()
+	if len(ps) != len(names) {
+		t.Fatalf("Planners() returns %d planners, registry names %d", len(ps), len(names))
+	}
+	for i, p := range ps {
+		if p.Name() != names[i] {
+			t.Errorf("Planners()[%d].Name() = %q, registry order says %q", i, p.Name(), names[i])
+		}
 	}
 }
 
