@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"math"
 	"sort"
 )
 
@@ -77,16 +76,12 @@ func mix64(x uint64) uint64 {
 // u01 returns a uniform draw in [0, 1) determined purely by the seed, the
 // draw kind and up to three integer coordinates.
 func (ij *Injector) u01(kind uint64, a, b, c int) float64 {
-	h := mix64(uint64(ij.plan.Seed) ^ kind*0x9e3779b97f4a7c15)
-	h = mix64(h ^ uint64(int64(a))*0xff51afd7ed558ccd)
-	h = mix64(h ^ uint64(int64(b))*0xc4ceb9fe1a85ec53)
-	h = mix64(h ^ uint64(int64(c))*0x2545f4914f6cdd1d)
-	return float64(h>>11) / float64(1<<53)
+	return U01(ij.plan.Seed, kind, uint64(int64(a)), uint64(int64(b)), uint64(int64(c)))
 }
 
 // excess converts a uniform draw into a unit-exponential excess, used for
 // the multiplicative delay noise: factor = 1 + sigma * excess.
-func excess(u float64) float64 { return -math.Log(1 - u) }
+func excess(u float64) float64 { return Excess(u) }
 
 // TravelFactor returns the multiplicative slowdown (>= 1) of the travel
 // leg between the two request nodes in the given round; use -1 for the

@@ -52,6 +52,15 @@ const DefaultCapacity = 256
 // FNV-1a hash of the canonical encoding.
 type Key [16]byte
 
+// Hash64 folds the key to 64 bits, the shape consistent hashing wants:
+// the serve router scores backends with mix(Hash64 ^ backend) so every
+// replica of a fleet agrees on which shard owns a given plan request
+// without any coordination. Folding by XOR of the two halves keeps all
+// 128 input bits influential.
+func (k Key) Hash64() uint64 {
+	return binary.LittleEndian.Uint64(k[:8]) ^ binary.LittleEndian.Uint64(k[8:])
+}
+
 // Optioned is the optional interface a core.Planner implements to expose
 // the core.Options shaping its plans. Identity consults it so two
 // planners that share a Name but differ in plan-changing options (e.g.

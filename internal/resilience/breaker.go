@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed passes requests through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open fails fast: no request may proceed until Cooldown elapses.
+	Open
+	// HalfOpen admits exactly one probe request; its outcome decides
+	// between Closed (success) and Open again (failure).
+	HalfOpen
+)
+
+// String implements fmt.Stringer for metrics labels and test failures.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Breaker is a per-backend circuit breaker. Closed until Threshold
+// consecutive failures, then Open for Cooldown, then HalfOpen: one probe
+// is admitted, and its outcome either closes the circuit or re-opens it
+// for another Cooldown. All methods are safe for concurrent use.
+//
+// Callers must pair every Allow() == true with exactly one Report: the
+// half-open probe slot is held by the allowed caller and only its Report
+// resolves the probe. An Allow() == false costs nothing and holds
+// nothing — route around and move on.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+
+	state    BreakerState
+	failures int       // consecutive failures while Closed
+	openedAt time.Time // when state last became Open
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // transitions to Open, cumulative
+}
+
+// NewBreaker returns a Closed breaker tripping after threshold
+// consecutive failures (<= 0 means 3) and cooling down for cooldown
+// (<= 0 means 2 s) before probing.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. In Open state it flips to
+// HalfOpen once the cooldown has elapsed and admits the caller as the
+// probe; while a probe is in flight every other caller is refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report records the outcome of a request previously admitted by Allow.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probing = false
+		if ok {
+			b.state = Closed
+			b.failures = 0
+		} else {
+			b.trip()
+		}
+	case Open:
+		// A straggler from before the trip; its outcome is stale.
+	}
+}
+
+// trip moves to Open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current position (Open reads as Open until an Allow
+// observes the elapsed cooldown; the flip to HalfOpen happens on demand,
+// not on a timer).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative number of transitions to Open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,190 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerStateMachine drives the breaker through scripted
+// allow/report/advance sequences and checks every transition of the
+// closed -> open -> half-open state machine.
+func TestBreakerStateMachine(t *testing.T) {
+	type step struct {
+		op        string // "allow", "report-ok", "report-fail", "advance"
+		d         time.Duration
+		wantAllow bool
+		wantState BreakerState
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed passes and resets on success", []step{
+			{op: "allow", wantAllow: true, wantState: Closed},
+			{op: "report-fail", wantState: Closed},
+			{op: "report-fail", wantState: Closed},
+			{op: "report-ok", wantState: Closed}, // streak broken
+			{op: "report-fail", wantState: Closed},
+			{op: "report-fail", wantState: Closed},
+			{op: "allow", wantAllow: true, wantState: Closed},
+		}},
+		{"threshold consecutive failures trip it open", []step{
+			{op: "report-fail", wantState: Closed},
+			{op: "report-fail", wantState: Closed},
+			{op: "report-fail", wantState: Open},
+			{op: "allow", wantAllow: false, wantState: Open},
+		}},
+		{"open refuses until cooldown, then admits one probe", []step{
+			{op: "report-fail"}, {op: "report-fail"}, {op: "report-fail", wantState: Open},
+			{op: "advance", d: time.Second},
+			{op: "allow", wantAllow: false, wantState: Open},
+			{op: "advance", d: time.Second},
+			{op: "allow", wantAllow: true, wantState: HalfOpen},  // the probe
+			{op: "allow", wantAllow: false, wantState: HalfOpen}, // probe in flight
+		}},
+		{"half-open probe success closes", []step{
+			{op: "report-fail"}, {op: "report-fail"}, {op: "report-fail", wantState: Open},
+			{op: "advance", d: 2 * time.Second},
+			{op: "allow", wantAllow: true, wantState: HalfOpen},
+			{op: "report-ok", wantState: Closed},
+			{op: "allow", wantAllow: true, wantState: Closed},
+		}},
+		{"half-open probe failure re-opens for a fresh cooldown", []step{
+			{op: "report-fail"}, {op: "report-fail"}, {op: "report-fail", wantState: Open},
+			{op: "advance", d: 2 * time.Second},
+			{op: "allow", wantAllow: true, wantState: HalfOpen},
+			{op: "report-fail", wantState: Open},
+			{op: "advance", d: time.Second},
+			{op: "allow", wantAllow: false, wantState: Open}, // cooldown restarted
+			{op: "advance", d: time.Second},
+			{op: "allow", wantAllow: true, wantState: HalfOpen},
+			{op: "report-ok", wantState: Closed},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := testBreaker(3, 2*time.Second)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "allow":
+					if got := b.Allow(); got != st.wantAllow {
+						t.Fatalf("step %d: Allow() = %v, want %v", i, got, st.wantAllow)
+					}
+				case "report-ok":
+					b.Report(true)
+				case "report-fail":
+					b.Report(false)
+				case "advance":
+					clk.advance(st.d)
+				default:
+					t.Fatalf("step %d: bad op %q", i, st.op)
+				}
+				if st.op != "advance" && b.State() != st.wantState {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, st.op, b.State(), st.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerOpensCounter counts trips, including half-open re-trips.
+func TestBreakerOpensCounter(t *testing.T) {
+	b, clk := testBreaker(2, time.Second)
+	b.Report(false)
+	b.Report(false) // trip 1
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Report(false) // trip 2 (probe failed)
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d, want 2", got)
+	}
+}
+
+// TestBreakerConcurrentTrips hammers one breaker from many goroutines
+// under -race: Allow/Report pairs must stay balanced, at most one
+// half-open probe may be admitted per cooldown lapse, and the final
+// state must be a legal one.
+func TestBreakerConcurrentTrips(t *testing.T) {
+	b, clk := testBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					// 7 consecutive failures between successes: trips
+					// even if the goroutines never interleave.
+					b.Report(i%8 == 0)
+				}
+				if i%100 == 0 {
+					clk.advance(2 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != Closed && s != Open && s != HalfOpen {
+		t.Fatalf("final state invalid: %v", s)
+	}
+	if b.Opens() == 0 {
+		t.Fatal("no trips despite a failing majority")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe checks that concurrent callers racing
+// into a just-cooled-down breaker admit exactly one probe.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Report(false) // open
+	clk.advance(time.Second)
+
+	var allowed sync.Map
+	var n int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				n++
+				mu.Unlock()
+				allowed.Store(g, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", n)
+	}
+}

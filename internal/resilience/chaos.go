@@ -1,0 +1,212 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrChaosReset is the transport error returned for an injected
+// connection reset; test with errors.Is.
+var ErrChaosReset = errors.New("resilience: chaos injected connection reset")
+
+// ErrChaosBlackhole is the transport error returned for a request to an
+// administratively blackholed backend; test with errors.Is.
+var ErrChaosBlackhole = errors.New("resilience: chaos blackholed backend")
+
+// ChaosKeyHeader, when set on a request (the serve router stamps it with
+// the plan request's folded plancache key), identifies the request for
+// chaos draws. Requests without it are keyed by a hash of method + URL.
+const ChaosKeyHeader = "X-Chaos-Key"
+
+// ChaosPlan configures a ChaosTripper. The zero value injects nothing.
+// All rates are probabilities in [0, 1], drawn per attempt.
+type ChaosPlan struct {
+	// Seed drives every draw; same plan + same request sequence =
+	// identical injected faults.
+	Seed int64
+	// LatencyRate is the probability an attempt is delayed by
+	// LatencyBase * (1 + Exp(1)) before proceeding.
+	LatencyRate float64
+	// LatencyBase is the injected delay scale; 0 means 20 ms.
+	LatencyBase time.Duration
+	// ResetRate is the probability an attempt fails with
+	// ErrChaosReset, modeling a connection reset mid-flight.
+	ResetRate float64
+	// Err5xxRate is the probability an attempt is answered by a
+	// synthetic 503 burst without reaching the backend.
+	Err5xxRate float64
+}
+
+// ChaosEvent is one injected fault, identified by the deterministic
+// coordinates of its draw, not by when it happened — so sorting events
+// canonically yields an identical sequence across replays regardless of
+// goroutine interleaving.
+type ChaosEvent struct {
+	// Key identifies the logical request (ChaosKeyHeader or URL hash).
+	Key uint64 `json:"key"`
+	// Attempt is the per-key attempt ordinal (0-based).
+	Attempt int `json:"attempt"`
+	// Host is the backend the attempt addressed.
+	Host string `json:"host"`
+	// Kind is "latency", "reset", "503" or "blackhole".
+	Kind string `json:"kind"`
+}
+
+// ChaosTripper is an http.RoundTripper that injects faults in front of a
+// real transport: added latency, connection resets, 5xx bursts, and
+// administratively blackholed backends. It is the internal/fault
+// philosophy lifted to the network layer: every probabilistic decision is
+// fault.U01(seed, kind, requestKey, attempt), so a drill at a fixed seed
+// injects the identical fault set on every run over the same request
+// sequence.
+//
+// Blackholing is not probabilistic: Blackhole(host, true) makes every
+// attempt to host stall briefly (modeling dropped packets bounded by the
+// caller's patience) and fail with ErrChaosBlackhole, until revived.
+type ChaosTripper struct {
+	next http.RoundTripper
+	plan ChaosPlan
+
+	mu         sync.Mutex
+	attempts   map[uint64]int
+	events     []ChaosEvent
+	counts     map[string]int64
+	blackholed map[string]bool
+}
+
+// NewChaosTripper wraps next (nil means http.DefaultTransport) with the
+// plan's fault injection.
+func NewChaosTripper(next http.RoundTripper, plan ChaosPlan) *ChaosTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if plan.LatencyBase <= 0 {
+		plan.LatencyBase = 20 * time.Millisecond
+	}
+	return &ChaosTripper{
+		next:       next,
+		plan:       plan,
+		attempts:   make(map[uint64]int),
+		counts:     make(map[string]int64),
+		blackholed: make(map[string]bool),
+	}
+}
+
+// Blackhole sets or clears the blackhole on a backend host (the
+// host:port of the request URL).
+func (t *ChaosTripper) Blackhole(host string, on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.blackholed[host] = on
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	key := chaosKey(r)
+	host := r.URL.Host
+
+	t.mu.Lock()
+	attempt := t.attempts[key]
+	t.attempts[key]++
+	holed := t.blackholed[host]
+	t.mu.Unlock()
+
+	if holed {
+		t.record(ChaosEvent{Key: key, Attempt: attempt, Host: host, Kind: "blackhole"})
+		select {
+		case <-time.After(t.plan.LatencyBase):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+		return nil, fmt.Errorf("%w: %s", ErrChaosBlackhole, host)
+	}
+	a, b := key, uint64(int64(attempt))
+	if fault.U01(t.plan.Seed, kindChaosLatency, a, b, 0) < t.plan.LatencyRate {
+		t.record(ChaosEvent{Key: key, Attempt: attempt, Host: host, Kind: "latency"})
+		d := time.Duration(float64(t.plan.LatencyBase) *
+			(1 + fault.Excess(fault.U01(t.plan.Seed, kindChaosLatencyAmount, a, b, 0))))
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	if fault.U01(t.plan.Seed, kindChaosReset, a, b, 0) < t.plan.ResetRate {
+		t.record(ChaosEvent{Key: key, Attempt: attempt, Host: host, Kind: "reset"})
+		return nil, fmt.Errorf("%w: %s attempt %d", ErrChaosReset, host, attempt)
+	}
+	if fault.U01(t.plan.Seed, kindChaos5xx, a, b, 0) < t.plan.Err5xxRate {
+		t.record(ChaosEvent{Key: key, Attempt: attempt, Host: host, Kind: "503"})
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:    io.NopCloser(strings.NewReader("chaos injected 503\n")),
+			Request: r,
+		}, nil
+	}
+	return t.next.RoundTrip(r)
+}
+
+// record appends an event and bumps its kind counter.
+func (t *ChaosTripper) record(e ChaosEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.counts[e.Kind]++
+	t.mu.Unlock()
+}
+
+// Events returns the injected faults sorted canonically by (Key,
+// Attempt, Kind): byte-identical across replays of one request sequence
+// at one seed, whatever the goroutine interleaving was.
+func (t *ChaosTripper) Events() []ChaosEvent {
+	t.mu.Lock()
+	out := append([]ChaosEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		if out[i].Attempt != out[j].Attempt {
+			return out[i].Attempt < out[j].Attempt
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Counts returns the injected-fault totals by kind.
+func (t *ChaosTripper) Counts() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// chaosKey identifies the logical request: the ChaosKeyHeader when the
+// caller stamped one, else an FNV-1a hash of method and URL.
+func chaosKey(r *http.Request) uint64 {
+	if h := r.Header.Get(ChaosKeyHeader); h != "" {
+		if v, err := strconv.ParseUint(h, 16, 64); err == nil {
+			return v
+		}
+	}
+	f := fnv.New64a()
+	io.WriteString(f, r.Method)
+	io.WriteString(f, r.URL.String())
+	return f.Sum64()
+}

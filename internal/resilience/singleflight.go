@@ -1,0 +1,54 @@
+package resilience
+
+import "sync"
+
+// Group collapses concurrent calls with the same key into one execution:
+// the first caller runs fn, the rest block and share its result. The
+// serve router keys a Group by the 128-bit plancache key, so a thundering
+// herd of identical plan requests costs one upstream fetch instead of
+// one per caller. Distinct keys proceed independently.
+//
+// Unlike golang.org/x/sync/singleflight (not vendored here — the repo is
+// stdlib-only), results are typed, and the duplicate callers run no code
+// at all: they wake with the leader's exact result values.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	dups int
+}
+
+// Do executes fn once per concurrent set of callers sharing key and
+// returns its result to all of them. shared reports whether the result
+// was produced by (or delivered to) more than one caller. Once the
+// leader returns, the key is forgotten: a later Do with the same key
+// runs fn again — collapsing is concurrency deduplication, not caching.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flight[V])
+	}
+	if f, ok := g.calls[key]; ok {
+		f.dups++
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.calls[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	dups := f.dups
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, dups > 0
+}

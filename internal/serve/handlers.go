@@ -91,20 +91,22 @@ type errorResponse struct {
 }
 
 // decodePlanRequest reads the body as either the envelope or a bare
-// instance. Unknown fields are rejected in both shapes, so a typoed
-// envelope cannot silently plan a zero-value instance.
-func decodePlanRequest(r *http.Request, maxBytes int64) (*PlanRequest, error) {
+// instance, returning the raw bytes alongside (router mode forwards them
+// verbatim to the owning shard). Unknown fields are rejected in both
+// shapes, so a typoed envelope cannot silently plan a zero-value
+// instance.
+func decodePlanRequest(r *http.Request, maxBytes int64) ([]byte, *PlanRequest, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("read body: %w", err)
+		return nil, nil, fmt.Errorf("read body: %w", err)
 	}
 	if int64(len(body)) > maxBytes {
-		return nil, fmt.Errorf("body exceeds %d bytes", maxBytes)
+		return nil, nil, fmt.Errorf("body exceeds %d bytes", maxBytes)
 	}
 	var req PlanRequest
 	envErr := decodeStrict(body, &req)
 	if envErr == nil && req.Instance != nil {
-		return &req, nil
+		return body, &req, nil
 	}
 	// Fall back to a bare instance: its fields (depot, requests, ...) are
 	// unknown to the envelope, so exactly one of the two decodes accepts
@@ -112,11 +114,11 @@ func decodePlanRequest(r *http.Request, maxBytes int64) (*PlanRequest, error) {
 	var in core.Instance
 	if bareErr := decodeStrict(body, &in); bareErr != nil {
 		if envErr != nil {
-			return nil, fmt.Errorf("body is neither a plan envelope (%v) nor a bare instance (%v)", envErr, bareErr)
+			return nil, nil, fmt.Errorf("body is neither a plan envelope (%v) nor a bare instance (%v)", envErr, bareErr)
 		}
-		return nil, errors.New(`envelope has no "instance"`)
+		return nil, nil, errors.New(`envelope has no "instance"`)
 	}
-	return &PlanRequest{Instance: &in}, nil
+	return body, &PlanRequest{Instance: &in}, nil
 }
 
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing
@@ -140,7 +142,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finish()
 
-	req, err := decodePlanRequest(r, s.cfg.MaxBodyBytes)
+	raw, req, err := decodePlanRequest(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.writeError(w, "plan", http.StatusBadRequest, err.Error())
 		return
@@ -160,6 +162,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+
+	// Router mode: forward the raw body to the shard that owns this
+	// plan's canonical cache key, collapsing concurrent identical
+	// requests into one upstream fetch. Only when every eligible path is
+	// exhausted does the request degrade to the local planning path
+	// below, marked X-Plan-Degraded: local.
+	if s.router != nil {
+		if s.routePlan(ctx, w, r, req, planner, raw) {
+			return
+		}
+		s.router.degraded.Add(1)
+		w.Header().Set("X-Plan-Degraded", "local")
+	}
 
 	// Cache lookup runs outside the admission pool: a hit is a hash plus
 	// a deep copy and should not queue behind a worker slot. Misses plan
@@ -202,6 +217,43 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// The body is the canonical schedule encoding and nothing else —
 	// byte-identical to `wrsn-plan -json` on the same instance.
 	_ = export.WriteSchedule(w, sched)
+}
+
+// routePlan tries to answer a plan request through the shard router and
+// reports whether a response was written. false means no backend could
+// answer (all down, breakers open, or attempts exhausted) and the caller
+// should plan locally; a context expiry is final and never falls back —
+// a deadline-blown request gains nothing from a local plan it cannot
+// wait for.
+func (s *Server) routePlan(ctx context.Context, w http.ResponseWriter, r *http.Request, req *PlanRequest, planner core.Planner, raw []byte) bool {
+	cacheName, opts := plancache.Identity(planner)
+	key := plancache.KeyOf(cacheName, opts, req.Instance)
+	res, err, shared := s.router.group.Do(key, func() (*proxyResult, error) {
+		return s.router.fetch(ctx, key, r.URL.RawQuery, raw)
+	})
+	if shared {
+		s.router.collapsed.Add(1)
+	}
+	switch {
+	case err == nil && res != nil:
+		for _, h := range []string{"Content-Type", "X-Planner", "X-Plan-Cache", "X-Plan-Seconds"} {
+			if v := res.header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set("X-Plan-Backend", res.backend)
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		s.count("plan", res.status)
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, "plan", http.StatusGatewayTimeout, "deadline exceeded while routing: "+err.Error())
+		return true
+	case errors.Is(err, context.Canceled):
+		s.count("plan", 499)
+		return true
+	}
+	return false
 }
 
 // handlePlanners serves GET /v1/planners: the registry's listing of

@@ -69,6 +69,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeMetric("Plan cache capacity.", "gauge", "wrsn_serve_plancache_capacity", float64(cs.Capacity))
 	}
 
+	// Shard router: resilience counters and per-backend health/breaker
+	// state, labeled by backend host so a dashboard can watch one shard
+	// fail and recover.
+	if s.router != nil {
+		rt := s.router
+		writeMetric("Routed plan requests answered by a backend.", "counter",
+			"wrsn_serve_router_routed_total", float64(rt.routedOK.Load()))
+		writeMetric("Plan requests that fell back to local planning (X-Plan-Degraded).", "counter",
+			"wrsn_serve_router_degraded_local_total", float64(rt.degraded.Load()))
+		writeMetric("Proxy attempts beyond the first per request.", "counter",
+			"wrsn_serve_router_retries_total", float64(rt.retries.Load()))
+		writeMetric("Retries that switched to a different backend.", "counter",
+			"wrsn_serve_router_failovers_total", float64(rt.failovers.Load()))
+		writeMetric("Hedged second requests launched.", "counter",
+			"wrsn_serve_router_hedges_total", float64(rt.hedges.Load()))
+		writeMetric("Hedged requests whose response won.", "counter",
+			"wrsn_serve_router_hedge_wins_total", float64(rt.hedgeWins.Load()))
+		writeMetric("Singleflight duplicate deliveries (collapsed identical requests).", "counter",
+			"wrsn_serve_router_collapsed_total", float64(rt.collapsed.Load()))
+		writeMetric("Backends currently probing healthy.", "gauge",
+			"wrsn_serve_router_healthy_backends", float64(rt.healthyCount()))
+		fmt.Fprintf(&b, "# HELP wrsn_serve_router_backend_healthy 1 while the backend's /readyz probes 200.\n# TYPE wrsn_serve_router_backend_healthy gauge\n")
+		for _, be := range rt.backends {
+			h := 0.0
+			if be.healthy.Load() {
+				h = 1
+			}
+			fmt.Fprintf(&b, "wrsn_serve_router_backend_healthy{backend=%q} %g\n", be.host, h)
+		}
+		fmt.Fprintf(&b, "# HELP wrsn_serve_router_breaker_state Circuit breaker position (0 closed, 1 open, 2 half-open).\n# TYPE wrsn_serve_router_breaker_state gauge\n")
+		for _, be := range rt.backends {
+			fmt.Fprintf(&b, "wrsn_serve_router_breaker_state{backend=%q} %d\n", be.host, be.breaker.State())
+		}
+		fmt.Fprintf(&b, "# HELP wrsn_serve_router_breaker_opens_total Transitions to open per backend breaker.\n# TYPE wrsn_serve_router_breaker_opens_total counter\n")
+		for _, be := range rt.backends {
+			fmt.Fprintf(&b, "wrsn_serve_router_breaker_opens_total{backend=%q} %d\n", be.host, be.breaker.Opens())
+		}
+		if n := rt.hist.Count(); n > 0 {
+			writeMetric("Routed attempt latency p50 seconds.", "gauge",
+				"wrsn_serve_router_latency_p50_seconds", rt.hist.Quantile(0.50).Seconds())
+			writeMetric("Routed attempt latency p99 seconds.", "gauge",
+				"wrsn_serve_router_latency_p99_seconds", rt.hist.Quantile(0.99).Seconds())
+			writeMetric("Routed attempt latency p999 seconds.", "gauge",
+				"wrsn_serve_router_latency_p999_seconds", rt.hist.Quantile(0.999).Seconds())
+		}
+	}
+
 	// Admission pool.
 	ps := s.pool.Stats()
 	writeMetric("Configured planning workers.", "gauge", "wrsn_serve_pool_workers", float64(ps.Workers))

@@ -19,9 +19,13 @@
 //	                   default — straight from the planner registry, so
 //	                   the listing can never drift from what ?planner=
 //	                   accepts.
-//	GET  /healthz      200 "ok" while serving, 503 "draining" during
-//	                   shutdown — flip load balancers away before the
-//	                   listener closes.
+//	GET  /livez        200 "ok" from startup to process exit — pure
+//	                   process liveness, draining included.
+//	GET  /readyz       200 "ok" while traffic-worthy; 503 "draining"
+//	                   during shutdown, and 503 "no healthy backends"
+//	                   in router mode while every shard is down — flip
+//	                   load balancers away before the listener closes.
+//	GET  /healthz      compatibility alias for /readyz.
 //	GET  /metrics      Prometheus-style text: obs stage timings and
 //	                   counters, plan-cache stats, pool admission stats,
 //	                   and per-route HTTP outcome counts.
@@ -40,6 +44,15 @@
 // options and canonical instance encoding, so a replan of an identical
 // network is a hash plus a deep copy. Responses are byte-identical with
 // and without the cache.
+//
+// Router mode (Config.Shards): instead of planning locally, /v1/plan
+// consistent-hashes the canonical plancache key across backend workers
+// so a fleet shares cache locality, with health-checked routing, circuit
+// breakers, deterministic-jitter retries honoring backend Retry-After
+// hints, optional quantile-hedged second requests, and singleflight
+// collapsing of concurrent identical requests. When every owner of a key
+// is unreachable the router plans locally and marks the response
+// X-Plan-Degraded: local — schedules stay byte-identical either way.
 package serve
 
 import (
@@ -59,6 +72,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/plancache"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 )
 
 // Config tunes a Server. The zero value serves on :8080 with GOMAXPROCS
@@ -98,6 +112,48 @@ type Config struct {
 	// timings and counters from every request aggregate into it and
 	// surface at /metrics.
 	Tracer *obs.Tracer
+
+	// Shards, when non-empty, turns the server into a shard router:
+	// /v1/plan requests are consistent-hashed on their plancache key
+	// across these backend workers (host:port or full URLs), with
+	// health-aware routing, per-backend circuit breakers, retry with
+	// deterministic backed-off jitter, optional hedging, singleflight
+	// collapsing, and a degraded-local planning fallback when every
+	// owner of a key is down. Other routes keep serving locally.
+	Shards []string
+	// HealthInterval is the backend /readyz probing cadence in router
+	// mode; 0 means 500 ms.
+	HealthInterval time.Duration
+	// RouterMaxAttempts bounds proxy attempts (first try + retries +
+	// failovers) per plan request; 0 means 2*len(Shards)+2.
+	RouterMaxAttempts int
+	// RouterAttemptTimeout bounds one proxied attempt, so a blackholed
+	// backend costs one bounded slice of the request deadline, not all
+	// of it; 0 means 10 s.
+	RouterAttemptTimeout time.Duration
+	// RouterBackoff shapes the retry schedule (zero value: 50 ms base,
+	// 2 s cap, seed 0). A backend's 429 Retry-After hint overrides the
+	// computed delay for the next attempt.
+	RouterBackoff resilience.Backoff
+	// RetryAfterCap bounds how long a backend's Retry-After hint can
+	// defer a retry; 0 means 2 s.
+	RetryAfterCap time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses before
+	// half-open probing; 0 means 2 s.
+	BreakerCooldown time.Duration
+	// HedgeQuantile, when > 0 (e.g. 0.99), hedges a second request to
+	// the next-ranked backend once the first attempt has outlived that
+	// latency quantile. 0 disables hedging (the chaos drill's
+	// deterministic mode requires it off).
+	HedgeQuantile float64
+	// Transport overrides the router's backend transport — the chaos
+	// drill injects resilience.NewChaosTripper here. nil means
+	// http.DefaultTransport. Health probes always use a plain
+	// transport so injected faults cannot flap health verdicts.
+	Transport http.RoundTripper
 }
 
 // DefaultQueueDepth is the admission queue bound used when
@@ -135,6 +191,18 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = obs.New()
 	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.RouterMaxAttempts <= 0 {
+		c.RouterMaxAttempts = 2*len(c.Shards) + 2
+	}
+	if c.RouterAttemptTimeout <= 0 {
+		c.RouterAttemptTimeout = 10 * time.Second
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
+	}
 	return c
 }
 
@@ -157,6 +225,7 @@ type Server struct {
 	pool   *par.Pool
 	cache  *plancache.Cache
 	tracer *obs.Tracer
+	router *router // nil unless cfg.Shards is set
 
 	draining atomic.Bool
 	inflight atomic.Int64 // /v1/* requests past admission checks
@@ -183,11 +252,16 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity >= 0 {
 		s.cache = plancache.New(cfg.CacheCapacity)
 	}
+	if len(cfg.Shards) > 0 {
+		s.router = newRouter(cfg)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/planners", s.handlePlanners)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /healthz", s.handleReadyz) // compatibility alias
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -209,6 +283,15 @@ func (s *Server) Addr() string {
 
 // Draining reports whether the server has begun a graceful drain.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close releases background resources (the router's health loop).
+// Idempotent and safe on a non-router server; ListenAndServe calls it
+// after draining, so only embedders using Handler directly need it.
+func (s *Server) Close() {
+	if s.router != nil {
+		s.router.close()
+	}
+}
 
 // ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
 // drains gracefully: the health check and all /v1 routes flip to 503
@@ -235,6 +318,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // drain performs the graceful shutdown sequence against hs.
 func (s *Server) drain(hs *http.Server) error {
 	s.draining.Store(true)
+	defer s.Close()
 	// Keep the listener open while in-flight work completes so late
 	// requests receive an explicit 503 (not a connection error), then
 	// close it. Bounded by DrainTimeout.
@@ -304,9 +388,26 @@ func (s *Server) begin(w http.ResponseWriter, route string) (func(), bool) {
 	return func() { s.inflight.Add(-1) }, true
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleLivez is pure process liveness: 200 from the first request the
+// mux sees until the process exits, draining included — restarting a
+// deliberately draining process would defeat the drain.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is traffic-worthiness, the signal load balancers and the
+// shard router's health loop act on: 503 while draining, and — in
+// router mode — 503 while zero backends are healthy, because routed
+// requests would all be degrading to local planning. /healthz is an
+// alias of this route for pre-split compatibility.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.router != nil && s.router.healthyCount() == 0 {
+		http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -338,9 +338,10 @@ func TestPlanDeadline504(t *testing.T) {
 }
 
 // TestGracefulDrainSIGTERM is the drain acceptance test: with a request
-// pinned in flight, SIGTERM must flip /healthz and new /v1 requests to
-// 503 while the in-flight request runs to a normal 200, and
-// ListenAndServe must return nil — zero dropped in-flight requests.
+// pinned in flight, SIGTERM must flip /readyz (and its /healthz alias)
+// and new /v1 requests to 503 — while /livez stays 200, since the
+// process is still alive — the in-flight request runs to a normal 200,
+// and ListenAndServe must return nil: zero dropped in-flight requests.
 func TestGracefulDrainSIGTERM(t *testing.T) {
 	bp := blockingPlanner{started: make(chan struct{}, 1), release: make(chan struct{})}
 	s := New(Config{
@@ -381,13 +382,21 @@ func TestGracefulDrainSIGTERM(t *testing.T) {
 	}
 	waitFor(t, s.Draining)
 
-	// New work is refused while the in-flight request still runs.
-	if resp, err := http.Get(base + "/healthz"); err != nil {
-		t.Fatal(err)
-	} else {
+	// New work is refused while the in-flight request still runs:
+	// readiness (and its legacy /healthz alias) reports 503, but the
+	// process is still live for the orchestrator.
+	for route, want := range map[string]int{
+		"/readyz":  http.StatusServiceUnavailable,
+		"/healthz": http.StatusServiceUnavailable,
+		"/livez":   http.StatusOK,
+	} {
+		resp, err := http.Get(base + route)
+		if err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+		if resp.StatusCode != want {
+			t.Fatalf("draining %s = %d, want %d", route, resp.StatusCode, want)
 		}
 	}
 	resp, out := postJSON(t, base+"/v1/plan", body)
