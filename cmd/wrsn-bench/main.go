@@ -53,8 +53,10 @@ func main() {
 		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, instance) in a bounded in-memory LRU")
 		verify    = flag.Bool("verify", false, "run the feasibility verifier every round")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
-		timeout   = flag.Duration("timeout", 0, "abort after this long, reporting whatever completed (0 = no limit)")
-		traceJSON = flag.String("trace-json", "", `write aggregated stage timings and counters as JSON to this file ("-" for stderr)`)
+		timeout    = flag.Duration("timeout", 0, "abort after this long, reporting whatever completed (0 = no limit)")
+		traceJSON  = flag.String("trace-json", "", `write aggregated stage timings and counters as JSON to this file ("-" for stderr)`)
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -86,11 +88,20 @@ func main() {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
-	err := run(ctx, *fig, opt, *csv, *svgDir, *jsonDir)
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-bench:", err)
+		os.Exit(1)
+	}
+
+	err = run(ctx, *fig, opt, *csv, *svgDir, *jsonDir)
 	if tracer != nil {
 		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
 			err = terr
 		}
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -21,24 +21,32 @@ import (
 	"repro"
 	"repro/internal/export"
 	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/render"
 )
 
 func main() {
 	var (
-		n         = flag.Int("n", 400, "number of charging requests in V_s")
-		k         = flag.Int("k", 2, "number of mobile chargers")
-		name      = flag.String("planner", "Appro", "algorithm: "+strings.Join(repro.PlannerNames(), ", ")+" (case-insensitive, aliases accepted)")
-		seed      = flag.Int64("seed", 1, "request set seed")
-		svgPath   = flag.String("svg", "", "write an SVG rendering of the tours to this file")
-		gantt     = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
-		compare   = flag.Bool("compare", false, "plan with every registered algorithm and compare objectives")
-		workers   = flag.Int("workers", 0, "plan the -compare algorithms concurrently on this many workers (0 = GOMAXPROCS); output is identical at any value")
-		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, options, instance) in a bounded in-memory LRU")
-		jsonOut   = flag.Bool("json", false, "print the schedule as canonical JSON instead of text (byte-identical to a wrsn-serve /v1/plan response)")
-		dumpInst  = flag.String("dump-instance", "", `write the generated instance as JSON to this file ("-" for stdout) — the bare-instance body /v1/plan accepts`)
-		timeout   = flag.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
-		traceJSON = flag.String("trace-json", "", `write per-stage timings and counters as JSON to this file ("-" for stderr)`)
+		n          = flag.Int("n", 400, "number of charging requests in V_s")
+		k          = flag.Int("k", 2, "number of mobile chargers")
+		name       = flag.String("planner", "Appro", "algorithm: "+strings.Join(repro.PlannerNames(), ", ")+" (case-insensitive, aliases accepted)")
+		seed       = flag.Int64("seed", 1, "request set seed")
+		field      = flag.Float64("field", 100, "side of the square deployment field in meters (scale ~ sqrt(n) to keep the paper's density at large n)")
+		misFlag    = flag.String("mis", "", `MIS strategy for options-capable planners: "max-degree" (default), "min-degree", "lexicographic", "random", "luby"`)
+		misSeed    = flag.Int64("mis-seed", 1, `seed for the seeded MIS strategies ("random", "luby")`)
+		restarts   = flag.Int("restarts", 0, "independent 2-opt descents inside the K-minMax tour refinement (<=1 = single sequential descent)")
+		svgPath    = flag.String("svg", "", "write an SVG rendering of the tours to this file")
+		gantt      = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
+		compare    = flag.Bool("compare", false, "plan with every registered algorithm and compare objectives")
+		workers    = flag.Int("workers", 0, "worker goroutines for -compare planning and planner-internal fan-out (0 = GOMAXPROCS); output is identical at any value")
+		planCache  = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, options, instance) in a bounded in-memory LRU")
+		jsonOut    = flag.Bool("json", false, "print the schedule as canonical JSON instead of text (byte-identical to a wrsn-serve /v1/plan response)")
+		dumpInst   = flag.String("dump-instance", "", `write the generated instance as JSON to this file ("-" for stdout) — the bare-instance body /v1/plan accepts`)
+		timeout    = flag.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
+		traceJSON  = flag.String("trace-json", "", `write per-stage timings and counters as JSON to this file ("-" for stderr)`)
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -55,11 +63,26 @@ func main() {
 		ctx = repro.WithTracer(ctx, tracer)
 	}
 
-	err := run(ctx, *n, *k, *name, *seed, *svgPath, *gantt, *compare, *workers, *planCache, *jsonOut, *dumpInst)
+	opts, err := plannerOptions(*misFlag, *misSeed, *restarts, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
+		os.Exit(1)
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
+		os.Exit(1)
+	}
+
+	err = run(ctx, *n, *k, *name, *seed, *field, opts, *svgPath, *gantt, *compare, *workers, *planCache, *jsonOut, *dumpInst)
 	if tracer != nil {
 		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
 			err = terr
 		}
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -69,6 +92,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
 		os.Exit(1)
 	}
+}
+
+// plannerOptions folds the option flags into core options for the
+// options-capable planners. An empty -mis keeps the planner's default
+// (max-degree for Appro).
+func plannerOptions(mis string, misSeed int64, restarts, workers int) (repro.ApproOptions, error) {
+	opts := repro.ApproOptions{Seed: misSeed, TourRestarts: restarts, Workers: workers}
+	switch strings.ToLower(mis) {
+	case "":
+	case "max-degree":
+		opts.MISOrder = graph.MISMaxDegree
+	case "min-degree":
+		opts.MISOrder = graph.MISMinDegree
+	case "lexicographic", "lex":
+		opts.MISOrder = graph.MISLexicographic
+	case "random":
+		opts.MISOrder = graph.MISRandom
+	case "luby":
+		opts.MISOrder = graph.MISLuby
+	default:
+		return opts, fmt.Errorf("unknown -mis strategy %q", mis)
+	}
+	return opts, nil
 }
 
 // writeTrace dumps the tracer's aggregated report as JSON to the path
@@ -107,19 +153,24 @@ func writeInstance(path string, in *repro.Instance) error {
 }
 
 // buildInstance synthesizes a request set matching the paper's planning
-// regime: sensors uniform in the field, each having requested at ~20%
-// residual capacity, so charge durations fall in [1.2 h, 1.5 h].
-func buildInstance(n, k int, seed int64) *repro.Instance {
+// regime: sensors uniform in a side x side field with the depot at its
+// center, each having requested at ~20% residual capacity, so charge
+// durations fall in [1.2 h, 1.5 h]. The paper's field is side = 100; the
+// scaling ladder grows side as sqrt(n) to hold the density constant.
+func buildInstance(n, k int, seed int64, side float64) *repro.Instance {
+	if !(side > 0) {
+		side = 100
+	}
 	rng := rand.New(rand.NewSource(seed))
 	in := &repro.Instance{
-		Depot: geom.Pt(50, 50),
+		Depot: geom.Pt(side/2, side/2),
 		Gamma: 2.7,
 		Speed: 1,
 		K:     k,
 	}
 	for i := 0; i < n; i++ {
 		in.Requests = append(in.Requests, repro.Request{
-			Pos:      geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Pos:      geom.Pt(rng.Float64()*side, rng.Float64()*side),
 			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
 			Lifetime: (1 + rng.Float64()*6) * 86400,
 		})
@@ -127,8 +178,8 @@ func buildInstance(n, k int, seed int64) *repro.Instance {
 	return in
 }
 
-func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttPath string, compare bool, workers int, planCache bool, jsonOut bool, dumpInst string) error {
-	in := buildInstance(n, k, seed)
+func run(ctx context.Context, n, k int, name string, seed int64, field float64, opts repro.ApproOptions, svgPath, ganttPath string, compare bool, workers int, planCache bool, jsonOut bool, dumpInst string) error {
+	in := buildInstance(n, k, seed, field)
 	if dumpInst != "" {
 		if err := writeInstance(dumpInst, in); err != nil {
 			return err
@@ -138,7 +189,7 @@ func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttP
 		if compare {
 			return errors.New("-json is incompatible with -compare")
 		}
-		planner, err := repro.NewPlanner(name)
+		planner, err := repro.NewPlannerWithOptions(name, opts)
 		if err != nil {
 			return err
 		}
@@ -182,7 +233,7 @@ func run(ctx context.Context, n, k int, name string, seed int64, svgPath, ganttP
 		return tb.WriteText(os.Stdout)
 	}
 
-	planner, err := repro.NewPlanner(name)
+	planner, err := repro.NewPlannerWithOptions(name, opts)
 	if err != nil {
 		return err
 	}

@@ -16,7 +16,7 @@ import (
 )
 
 func TestBuildInstanceShape(t *testing.T) {
-	in := buildInstance(50, 3, 7)
+	in := buildInstance(50, 3, 7, 100)
 	if len(in.Requests) != 50 || in.K != 3 || in.Gamma != 2.7 {
 		t.Fatalf("instance shape wrong: %d requests K=%d", len(in.Requests), in.K)
 	}
@@ -29,28 +29,28 @@ func TestBuildInstanceShape(t *testing.T) {
 		}
 	}
 	// Deterministic per seed.
-	again := buildInstance(50, 3, 7)
+	again := buildInstance(50, 3, 7, 100)
 	if again.Requests[0].Pos != in.Requests[0].Pos {
 		t.Error("buildInstance not deterministic")
 	}
 }
 
 func TestRunSingleAndCompare(t *testing.T) {
-	if err := run(context.Background(), 60, 2, "Appro", 1, "", "", false, 0, false, false, ""); err != nil {
+	if err := run(context.Background(), 60, 2, "Appro", 1, 100, repro.ApproOptions{}, "", "", false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 0, false, false, ""); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, 100, repro.ApproOptions{}, "", "", true, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	// The parallel compare path with the plan cache on must agree too.
-	if err := run(context.Background(), 40, 2, "", 1, "", "", true, 4, true, false, ""); err != nil {
+	if err := run(context.Background(), 40, 2, "", 1, 100, repro.ApproOptions{}, "", "", true, 4, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tours.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, path, "", false, 0, false, false, ""); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, 100, repro.ApproOptions{}, path, "", false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -76,7 +76,7 @@ func TestJSONOutputRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), 40, 2, "Appro", 1, "", "", false, 0, false, true, instPath)
+	runErr := run(context.Background(), 40, 2, "Appro", 1, 100, repro.ApproOptions{}, "", "", false, 0, false, true, instPath)
 	w.Close()
 	os.Stdout = old
 	got, err := io.ReadAll(r)
@@ -96,7 +96,7 @@ func TestJSONOutputRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		t.Fatal(err)
 	}
-	want := buildInstance(40, 2, 1)
+	want := buildInstance(40, 2, 1, 100)
 	if !reflect.DeepEqual(&decoded, want) {
 		t.Fatal("dumped instance does not round-trip to the generated one")
 	}
@@ -120,14 +120,14 @@ func TestJSONOutputRoundTrip(t *testing.T) {
 }
 
 func TestRunUnknownPlanner(t *testing.T) {
-	if err := run(context.Background(), 10, 1, "bogus", 1, "", "", false, 0, false, false, ""); err == nil {
+	if err := run(context.Background(), 10, 1, "bogus", 1, 100, repro.ApproOptions{}, "", "", false, 0, false, false, ""); err == nil {
 		t.Error("unknown planner accepted")
 	}
 }
 
 func TestRunWritesGantt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gantt.svg")
-	if err := run(context.Background(), 30, 2, "Appro", 1, "", path, false, 0, false, false, ""); err != nil {
+	if err := run(context.Background(), 30, 2, "Appro", 1, 100, repro.ApproOptions{}, "", path, false, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

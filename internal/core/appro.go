@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -121,17 +120,21 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 	}
 
 	// Coverage sets N_c+(v) for each candidate sojourn, over request
-	// indices.
+	// indices. The sets live in one flat arena — covArena[covOff[i]:
+	// covOff[i+1]], each segment ascending — instead of len(si) separate
+	// allocations.
 	sp = tr.Start(obs.StageChargingGraph)
 	grid := geom.NewGrid(pts, maxCell(in.Gamma))
-	cover := make([][]int, len(si))
+	covOff := make([]int32, len(si)+1)
+	covArena := make([]int32, 0, 4*len(si))
 	var buf []int
 	for i, node := range si {
 		buf = grid.Neighbors(pts[node], in.Gamma, buf)
-		cs := make([]int, len(buf))
-		copy(cs, buf)
-		sort.Ints(cs)
-		cover[i] = cs
+		sort.Ints(buf)
+		for _, u := range buf {
+			covArena = append(covArena, int32(u))
+		}
+		covOff[i+1] = int32(len(covArena))
 	}
 	sp.End()
 
@@ -142,7 +145,7 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 	vhPts := make([]geom.Point, len(vh))
 	for i, hIdx := range vh {
 		vhPts[i] = pts[si[hIdx]]
-		for _, u := range cover[hIdx] {
+		for _, u := range covArena[covOff[hIdx]:covOff[hIdx+1]] {
 			if d := in.Requests[u].Duration; d > service[i] {
 				service[i] = d
 			}
@@ -165,160 +168,22 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 		return nil, fmt.Errorf("core: k-minmax subroutine: %w", err)
 	}
 
-	// Build the working state. covered[u] marks requests attributed to a
-	// stop; inTour[i] the S_I candidates already placed (index into si).
-	covered := make([]bool, n)
-	inTour := make([]int, len(si)) // -1 or tour index
-	for i := range inTour {
-		inTour[i] = -1
-	}
-	for k, tour := range kt.Tours {
-		for _, vi := range tour {
-			hIdx := vh[vi]
-			stop := Stop{Node: si[hIdx], Duration: service[vi]}
-			for _, u := range cover[hIdx] {
-				if !covered[u] {
-					covered[u] = true
-					stop.Covers = append(stop.Covers, u)
-				}
-			}
-			sched.Tours[k].Stops = append(sched.Tours[k].Stops, stop)
-			inTour[hIdx] = k
-		}
-		recomputeTourTimes(in, &sched.Tours[k])
-	}
-
-	// Step 6-24: insert the pending candidates U = S_I \ V'_H one by one,
-	// each after its H-neighbor with the latest charging finish time
-	// (Eqs. (8), (9), (13)), skipping candidates whose coverage area is
-	// already fully charged.
-	pending := make([]int, 0, len(si)-len(vh))
-	inVH := make(map[int]bool, len(vh))
-	for _, hIdx := range vh {
-		inVH[hIdx] = true
-	}
-	for i := range si {
-		if !inVH[i] {
-			pending = append(pending, i)
-		}
-	}
-
-	// siIndexByNode inverts si (request index -> position in si) so stop
-	// re-indexing after an insert is O(1) per shifted stop instead of a
-	// binary search per stop of the whole tour.
-	siIndexByNode := make([]int, n)
-	for i := range siIndexByNode {
-		siIndexByNode[i] = -1
-	}
-	for i, node := range si {
-		siIndexByNode[node] = i
-	}
-	// finishOf returns f(v) for a placed candidate (index into si).
-	stopPos := make(map[int][2]int, len(si)) // si index -> (tour, position)
-	for k := range sched.Tours {
-		for p, st := range sched.Tours[k].Stops {
-			stopPos[siIndexByNode[st.Node]] = [2]int{k, p}
-		}
-	}
-	finishOf := func(hIdx int) float64 {
-		tp := stopPos[hIdx]
-		return sched.Tours[tp[0]].Stops[tp[1]].Finish()
-	}
-	// latestNeighborFinish computes f_N(u) (Eq. (8)) and the placed
-	// neighbor attaining it; ok is false when u has no placed H-neighbor.
-	latestNeighborFinish := func(hIdx int) (fn float64, best int, ok bool) {
-		fn, best = math.Inf(-1), -1
-		for _, w := range h.Neighbors(hIdx) {
-			if inTour[w] < 0 {
-				continue
-			}
-			if f := finishOf(int(w)); f > fn {
-				fn, best = f, int(w)
-			}
-		}
-		return fn, best, best >= 0
-	}
+	// Initial placement of V'_H per the K-minMax tours, then step 6-24:
+	// insert the pending candidates U = S_I \ V'_H one by one, each after
+	// its H-neighbor with the latest charging finish time (Eqs. (8), (9),
+	// (13)), skipping candidates whose coverage area is already fully
+	// charged. The engine (insert.go) drives the selection with a lazy
+	// min-heap on f_N and keeps tour times incrementally, producing
+	// byte-identical schedules to the straightforward rescan-everything
+	// loop (see TestInsertionMatchesReference).
+	eng := newInsEngine(in, si, h, covOff, covArena, vh, service, kt.Tours, in.K, opts.NoSortByFinishTime)
 
 	sp = tr.Start(obs.StageInsertion)
 	defer sp.End()
-	for iter := 0; len(pending) > 0; iter++ {
-		// The insertion loop dominates dense instances; poll for
-		// cancellation every few iterations so a deadline aborts the
-		// plan promptly without a per-iteration atomic load.
-		if iter%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: appro: insertion: %w", err)
-			}
-		}
-		// Pick the pending candidate with the smallest f_N(u)
-		// (Algorithm 1, line 9). Candidates without placed neighbors are
-		// deferred; the paper proves at least one candidate always has
-		// one (maximality of V'_H in H), and placing candidates only
-		// creates more placed neighbors.
-		pick := -1
-		var pickFN float64
-		var pickAfter int
-		for pi, hIdx := range pending {
-			fn, after, ok := latestNeighborFinish(hIdx)
-			if !ok {
-				continue
-			}
-			if pick < 0 || fn < pickFN || opts.NoSortByFinishTime {
-				pick, pickFN, pickAfter = pi, fn, after
-				if opts.NoSortByFinishTime {
-					break
-				}
-			}
-		}
-		if pick < 0 {
-			// No pending candidate touches a placed one. This cannot
-			// happen when V'_H is maximal, but guard against it by
-			// placing the first pending candidate into the shortest
-			// tour directly.
-			pick, pickAfter = 0, -1
-		}
-		hIdx := pending[pick]
-		pending = append(pending[:pick], pending[pick+1:]...)
-
-		// Skip if all sensors in N_c+(u) are already attributed
-		// (Algorithm 1, line 10).
-		newCovers := newCoverage(cover[hIdx], covered)
-		if len(newCovers) == 0 {
-			continue
-		}
-		// tau'(u) per Eq. (10): longest duration among newly covered.
-		dur := 0.0
-		for _, u := range newCovers {
-			if d := in.Requests[u].Duration; d > dur {
-				dur = d
-			}
-		}
-		stop := Stop{Node: si[hIdx], Duration: dur, Covers: newCovers}
-		for _, u := range newCovers {
-			covered[u] = true
-		}
-
-		var k, pos int
-		if pickAfter >= 0 {
-			tp := stopPos[pickAfter]
-			k, pos = tp[0], tp[1]+1
-		} else {
-			// Fallback: append to the tour with the smallest delay.
-			k = shortestTour(sched)
-			pos = len(sched.Tours[k].Stops)
-		}
-		insertStop(&sched.Tours[k], pos, stop)
-		recomputeTourTimes(in, &sched.Tours[k])
-		inTour[hIdx] = k
-		// Re-index incrementally: only the new stop and the stops it
-		// shifted (positions > pos in this tour) moved.
-		stopPos[hIdx] = [2]int{k, pos}
-		stops := sched.Tours[k].Stops
-		for p := pos + 1; p < len(stops); p++ {
-			stopPos[siIndexByNode[stops[p].Node]] = [2]int{k, p}
-		}
+	if err := eng.run(ctx, opts.NoSortByFinishTime); err != nil {
+		return nil, err
 	}
-
+	eng.materialize(sched)
 	sched.refreshLongest()
 	return sched, nil
 }
@@ -331,32 +196,9 @@ func maxCell(gamma float64) float64 {
 	return gamma
 }
 
-// newCoverage returns the members of cover not yet marked covered, in
-// ascending order.
-func newCoverage(cover []int, covered []bool) []int {
-	var out []int
-	for _, u := range cover {
-		if !covered[u] {
-			out = append(out, u)
-		}
-	}
-	return out
-}
-
 // insertStop inserts st at position pos in the tour's stop list.
 func insertStop(t *Tour, pos int, st Stop) {
 	t.Stops = append(t.Stops, Stop{})
 	copy(t.Stops[pos+1:], t.Stops[pos:])
 	t.Stops[pos] = st
-}
-
-// shortestTour returns the index of the tour with the smallest delay.
-func shortestTour(s *Schedule) int {
-	best := 0
-	for k := range s.Tours {
-		if s.Tours[k].Delay < s.Tours[best].Delay {
-			best = k
-		}
-	}
-	return best
 }

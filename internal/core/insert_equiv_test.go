@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/ktour"
+)
+
+// approOrderedReference is the seed implementation of approOrdered, kept
+// verbatim (per-candidate cover slices, full pending rescans, slice
+// splices, full recomputeTourTimes per insert, map bookkeeping). The fast
+// engine in insert.go must reproduce its schedules byte for byte; this
+// copy is the oracle TestInsertionMatchesReference checks against.
+func approOrderedReference(ctx context.Context, in *Instance, opts Options) (*Schedule, error) {
+	if opts.MISOrder == 0 {
+		opts.MISOrder = graph.MISMaxDegree
+	}
+	n := len(in.Requests)
+	sched := &Schedule{Tours: make([]Tour, in.K)}
+	if n == 0 {
+		return sched, nil
+	}
+	pts := in.Positions()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	gc := graph.UnitDisk(pts, in.Gamma)
+	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+	h := graph.IntersectionGraph(pts, si, in.Gamma)
+	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+
+	grid := geom.NewGrid(pts, maxCell(in.Gamma))
+	cover := make([][]int, len(si))
+	var buf []int
+	for i, node := range si {
+		buf = grid.Neighbors(pts[node], in.Gamma, buf)
+		cs := make([]int, len(buf))
+		copy(cs, buf)
+		sort.Ints(cs)
+		cover[i] = cs
+	}
+
+	service := make([]float64, len(vh))
+	vhPts := make([]geom.Point, len(vh))
+	for i, hIdx := range vh {
+		vhPts[i] = pts[si[hIdx]]
+		for _, u := range cover[hIdx] {
+			if d := in.Requests[u].Duration; d > service[i] {
+				service[i] = d
+			}
+		}
+	}
+
+	kt, err := ktour.MinMax(ctx, ktour.Input{
+		Depot:    in.Depot,
+		Nodes:    vhPts,
+		Service:  service,
+		Speed:    in.Speed,
+		K:        in.K,
+		Builder:  opts.TourBuilder,
+		Restarts: opts.TourRestarts,
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	covered := make([]bool, n)
+	inTour := make([]int, len(si))
+	for i := range inTour {
+		inTour[i] = -1
+	}
+	for k, tour := range kt.Tours {
+		for _, vi := range tour {
+			hIdx := vh[vi]
+			stop := Stop{Node: si[hIdx], Duration: service[vi]}
+			for _, u := range cover[hIdx] {
+				if !covered[u] {
+					covered[u] = true
+					stop.Covers = append(stop.Covers, u)
+				}
+			}
+			sched.Tours[k].Stops = append(sched.Tours[k].Stops, stop)
+			inTour[hIdx] = k
+		}
+		recomputeTourTimes(in, &sched.Tours[k])
+	}
+
+	pending := make([]int, 0, len(si)-len(vh))
+	inVH := make(map[int]bool, len(vh))
+	for _, hIdx := range vh {
+		inVH[hIdx] = true
+	}
+	for i := range si {
+		if !inVH[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	siIndexByNode := make([]int, n)
+	for i := range siIndexByNode {
+		siIndexByNode[i] = -1
+	}
+	for i, node := range si {
+		siIndexByNode[node] = i
+	}
+	stopPos := make(map[int][2]int, len(si))
+	for k := range sched.Tours {
+		for p, st := range sched.Tours[k].Stops {
+			stopPos[siIndexByNode[st.Node]] = [2]int{k, p}
+		}
+	}
+	finishOf := func(hIdx int) float64 {
+		tp := stopPos[hIdx]
+		return sched.Tours[tp[0]].Stops[tp[1]].Finish()
+	}
+	latestNeighborFinish := func(hIdx int) (fn float64, best int, ok bool) {
+		fn, best = math.Inf(-1), -1
+		for _, w := range h.Neighbors(hIdx) {
+			if inTour[w] < 0 {
+				continue
+			}
+			if f := finishOf(int(w)); f > fn {
+				fn, best = f, int(w)
+			}
+		}
+		return fn, best, best >= 0
+	}
+
+	for len(pending) > 0 {
+		pick := -1
+		var pickFN float64
+		var pickAfter int
+		for pi, hIdx := range pending {
+			fn, after, ok := latestNeighborFinish(hIdx)
+			if !ok {
+				continue
+			}
+			if pick < 0 || fn < pickFN || opts.NoSortByFinishTime {
+				pick, pickFN, pickAfter = pi, fn, after
+				if opts.NoSortByFinishTime {
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			pick, pickAfter = 0, -1
+		}
+		hIdx := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+
+		var newCovers []int
+		for _, u := range cover[hIdx] {
+			if !covered[u] {
+				newCovers = append(newCovers, u)
+			}
+		}
+		if len(newCovers) == 0 {
+			continue
+		}
+		dur := 0.0
+		for _, u := range newCovers {
+			if d := in.Requests[u].Duration; d > dur {
+				dur = d
+			}
+		}
+		stop := Stop{Node: si[hIdx], Duration: dur, Covers: newCovers}
+		for _, u := range newCovers {
+			covered[u] = true
+		}
+
+		var k, pos int
+		if pickAfter >= 0 {
+			tp := stopPos[pickAfter]
+			k, pos = tp[0], tp[1]+1
+		} else {
+			k = 0
+			for ki := range sched.Tours {
+				if sched.Tours[ki].Delay < sched.Tours[k].Delay {
+					k = ki
+				}
+			}
+			pos = len(sched.Tours[k].Stops)
+		}
+		insertStop(&sched.Tours[k], pos, stop)
+		recomputeTourTimes(in, &sched.Tours[k])
+		inTour[hIdx] = k
+		stopPos[hIdx] = [2]int{k, pos}
+		stops := sched.Tours[k].Stops
+		for p := pos + 1; p < len(stops); p++ {
+			stopPos[siIndexByNode[stops[p].Node]] = [2]int{k, p}
+		}
+	}
+
+	sched.refreshLongest()
+	return sched, nil
+}
+
+// equivInstance builds a uniform random instance in the paper's regime.
+func equivInstance(n, k int, seed int64, side float64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &Instance{Depot: geom.Pt(side/2, side/2), Gamma: 2.7, Speed: 1, K: k}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, Request{
+			Pos:      geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+		})
+	}
+	return in
+}
+
+// TestInsertionMatchesReference checks the heap/chunk insertion engine
+// against the retired reference implementation: the schedules must be
+// byte-identical (reflect.DeepEqual over every stop, cover list, arrival
+// and delay) across sizes up to n=1200, charger counts, MIS strategies,
+// and the NoSortByFinishTime ablation.
+func TestInsertionMatchesReference(t *testing.T) {
+	type cfg struct {
+		name string
+		n, k int
+		seed int64
+		side float64
+		opts Options
+	}
+	cfgs := []cfg{
+		{"tiny", 12, 1, 1, 20, Options{}},
+		{"small", 80, 2, 2, 60, Options{}},
+		{"mid", 250, 2, 3, 100, Options{}},
+		{"mid-k5", 250, 5, 4, 100, Options{}},
+		{"dense", 400, 3, 5, 60, Options{}},
+		{"lex", 250, 2, 6, 100, Options{MISOrder: graph.MISLexicographic}},
+		{"mindeg", 250, 2, 7, 100, Options{MISOrder: graph.MISMinDegree}},
+		{"random", 250, 2, 8, 100, Options{MISOrder: graph.MISRandom, Seed: 11}},
+		{"luby", 250, 2, 9, 100, Options{MISOrder: graph.MISLuby, Seed: 5}},
+		{"nosort", 250, 2, 10, 100, Options{NoSortByFinishTime: true}},
+		{"restarts", 200, 2, 11, 100, Options{TourRestarts: 4}},
+	}
+	if !testing.Short() {
+		cfgs = append(cfgs,
+			cfg{"n800", 800, 3, 12, 100, Options{}},
+			cfg{"n1200", 1200, 4, 13, 100, Options{}},
+			cfg{"n1200-nosort", 1200, 4, 14, 100, Options{NoSortByFinishTime: true}},
+		)
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			in := equivInstance(tc.n, tc.k, tc.seed, tc.side)
+			want, err := approOrderedReference(context.Background(), in, tc.opts)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := approOrdered(context.Background(), in, tc.opts)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				for k := range want.Tours {
+					if !reflect.DeepEqual(got.Tours[k], want.Tours[k]) {
+						t.Logf("tour %d diverges: got %d stops delay %v, want %d stops delay %v",
+							k, len(got.Tours[k].Stops), got.Tours[k].Delay,
+							len(want.Tours[k].Stops), want.Tours[k].Delay)
+					}
+				}
+				t.Fatalf("schedule diverged from reference (longest got %v want %v)",
+					got.Longest, want.Longest)
+			}
+		})
+	}
+}
+
+// TestInsertionMatchesReferenceCoincident exercises the degenerate
+// geometries the random configs cannot hit: coincident points (zero
+// travel deltas, finish-time ties) and collinear chains.
+func TestInsertionMatchesReferenceCoincident(t *testing.T) {
+	in := &Instance{Depot: geom.Pt(0, 0), Gamma: 1, Speed: 1, K: 2}
+	// Three co-located clusters plus a chain at gamma spacing.
+	for i := 0; i < 6; i++ {
+		in.Requests = append(in.Requests, Request{Pos: geom.Pt(5, 5), Duration: 3600})
+		in.Requests = append(in.Requests, Request{Pos: geom.Pt(8, 5), Duration: 1800})
+		in.Requests = append(in.Requests, Request{Pos: geom.Pt(5, 8), Duration: 2700})
+	}
+	for i := 0; i < 12; i++ {
+		in.Requests = append(in.Requests, Request{Pos: geom.Pt(float64(i), 0.5), Duration: 600})
+	}
+	for _, opts := range []Options{{}, {NoSortByFinishTime: true}, {MISOrder: graph.MISLexicographic}} {
+		want, err := approOrderedReference(context.Background(), in, opts)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		got, err := approOrdered(context.Background(), in, opts)
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("opts %+v: schedule diverged from reference", opts)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/graph"
 )
 
 // Metamorphic properties of Algorithm Appro. The longest-charge-delay
@@ -234,5 +235,72 @@ func TestMetamorphicPropertiesWithRestarts(t *testing.T) {
 	}
 	if got.Longest != base.Longest {
 		t.Fatalf("restarts: permutation changed longest delay: %v vs %v", got.Longest, base.Longest)
+	}
+}
+
+// TestMetamorphicPropertiesWithLubyMIS extends the suite to the
+// goroutine-parallel MIS strategy: for a fixed seed the plan must be
+// byte-identical at any worker count (Luby's rounds are internally
+// parallel but seed-deterministic), and permuting the requests must only
+// relabel the schedule, exactly like the greedy orders.
+func TestMetamorphicPropertiesWithLubyMIS(t *testing.T) {
+	in := metaInstance(150, 3)
+	opts := Options{MISOrder: graph.MISLuby, Seed: 7, TourRestarts: 4, Workers: 1}
+	base, err := Appro(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		o := opts
+		o.Workers = w
+		got, err := Appro(context.Background(), in, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: Luby-MIS plan differs from the workers=1 plan", w)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2; trial++ {
+		perm := rng.Perm(len(in.Requests)) // perm[new] = old
+		shuffled := *in
+		shuffled.Requests = make([]Request, len(in.Requests))
+		inv := make([]int, len(perm)) // inv[old] = new
+		for newIdx, oldIdx := range perm {
+			shuffled.Requests[newIdx] = in.Requests[oldIdx]
+			inv[oldIdx] = newIdx
+		}
+		got, err := Appro(context.Background(), &shuffled, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Longest != base.Longest {
+			t.Fatalf("trial %d: permutation changed longest delay under Luby MIS: %v vs %v",
+				trial, got.Longest, base.Longest)
+		}
+		if want := remapForTest(base, inv); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: permuted Luby-MIS schedule is not the relabeled original", trial)
+		}
+	}
+
+	// Translation must keep the tour structure, like the default order.
+	moved := *in
+	moved.Depot = geom.Pt(in.Depot.X+512, in.Depot.Y-64)
+	moved.Requests = append([]Request(nil), in.Requests...)
+	for i := range moved.Requests {
+		moved.Requests[i].Pos = geom.Pt(in.Requests[i].Pos.X+512, in.Requests[i].Pos.Y-64)
+	}
+	got, err := Appro(context.Background(), &moved, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(structure(got), structure(base)) {
+		t.Fatal("translation changed the tour structure under Luby MIS")
+	}
+	if !relTol(got.Longest, base.Longest) {
+		t.Fatalf("translation under Luby MIS: longest %.12f vs %.12f", got.Longest, base.Longest)
 	}
 }

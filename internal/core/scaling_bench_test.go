@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// scalingDensity is the request density (sensors per square meter) of the
+// scaling ladder: at 0.12 the n=1200 rung lands exactly on the paper's
+// 100m x 100m field, and every other rung keeps the same unit-disk degree
+// by growing the field side as sqrt(n).
+const scalingDensity = 0.12
+
+// scalingInstance builds the density-scaled instance for one ladder rung.
+func scalingInstance(n int) *Instance {
+	side := math.Sqrt(float64(n) / scalingDensity)
+	return equivInstance(n, 4, 1, side)
+}
+
+// BenchmarkApproScaling runs the full planning pipeline on density-scaled
+// instances — the regime where the CSR graphs, the lazy-heap insertion and
+// the chunked tour-time maintenance set the asymptotics. Allocations per
+// plan are part of the contract: cmd/wrsn-bench's scaling mode and CI's
+// bench-smoke step track this benchmark.
+func BenchmarkApproScaling(b *testing.B) {
+	for _, n := range []int{400, 800, 1200} {
+		in := scalingInstance(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Appro(context.Background(), in, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -10,13 +10,20 @@ import "math"
 // The grid is immutable after construction; rebuild it if the point set
 // changes. A zero Grid is not usable — construct one with NewGrid.
 type Grid struct {
-	cell   float64
-	pts    []Point
-	minX   float64
-	minY   float64
-	cols   int
-	rows   int
-	bucket map[int][]int32
+	cell float64
+	pts  []Point
+	minX float64
+	minY float64
+	cols int
+	rows int
+	// Buckets live in one flat arena rather than a slice per cell: slot
+	// maps an occupied cell's key to a slot s, and the point indices of
+	// that cell are idx[off[s]:off[s+1]], ascending. Empty cells have no
+	// slot. This keeps NewGrid at O(1) allocations instead of one per
+	// occupied cell.
+	slot map[int]int32
+	off  []int32
+	idx  []int32
 }
 
 // maxGridCells bounds cols*rows. Beyond it the cell-key arithmetic
@@ -39,9 +46,9 @@ func NewGrid(pts []Point, cell float64) *Grid {
 		cell = 1
 	}
 	g := &Grid{
-		cell:   cell,
-		pts:    pts,
-		bucket: make(map[int][]int32, len(pts)),
+		cell: cell,
+		pts:  pts,
+		slot: make(map[int]int32, len(pts)),
 	}
 	if len(pts) == 0 {
 		g.cols, g.rows = 1, 1
@@ -67,11 +74,47 @@ func NewGrid(pts []Point, cell float64) *Grid {
 	}
 	g.cols = int(fc)
 	g.rows = int(fr)
+	// Two passes: assign slots and count, then fill the arena with a
+	// cursor per slot. Filling in ascending point order reproduces the
+	// within-bucket order incremental appends would give, which query
+	// iteration (and therefore downstream deterministic tiebreaks)
+	// observes.
+	slots := make([]int32, len(pts))
+	counts := make([]int32, 0, 64)
 	for i, p := range pts {
 		key := g.key(p)
-		g.bucket[key] = append(g.bucket[key], int32(i))
+		s, ok := g.slot[key]
+		if !ok {
+			s = int32(len(counts))
+			g.slot[key] = s
+			counts = append(counts, 0)
+		}
+		slots[i] = s
+		counts[s]++
+	}
+	g.off = make([]int32, len(counts)+1)
+	for s, c := range counts {
+		g.off[s+1] = g.off[s] + c
+	}
+	g.idx = make([]int32, len(pts))
+	cur := counts[:0] // reuse as cursors; counts is dead after the prefix sum
+	cur = append(cur, g.off[:len(counts)]...)
+	for i := range pts {
+		s := slots[i]
+		g.idx[cur[s]] = int32(i)
+		cur[s]++
 	}
 	return g
+}
+
+// cellPoints returns the indices bucketed in the cell with the given key,
+// ascending, or nil for an empty cell.
+func (g *Grid) cellPoints(key int) []int32 {
+	s, ok := g.slot[key]
+	if !ok {
+		return nil
+	}
+	return g.idx[g.off[s]:g.off[s+1]]
 }
 
 // Len returns the number of indexed points.
@@ -129,7 +172,7 @@ func (g *Grid) Neighbors(q Point, r float64, dst []int) []int {
 	x0, x1 := cellScanRange(cx, span, g.cols)
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
-			for _, idx := range g.bucket[y*g.cols+x] {
+			for _, idx := range g.cellPoints(y*g.cols + x) {
 				if DistSq(q, g.pts[idx]) <= r2 {
 					dst = append(dst, int(idx))
 				}
@@ -218,7 +261,7 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 				if x < 0 || x >= g.cols {
 					continue
 				}
-				for _, idx := range g.bucket[y*g.cols+x] {
+				for _, idx := range g.cellPoints(y*g.cols + x) {
 					d2 := DistSq(q, g.pts[idx])
 					if d2 < bestD2 || (d2 == bestD2 && int(idx) < best) {
 						best, bestD2 = int(idx), d2

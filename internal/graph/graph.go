@@ -1,64 +1,91 @@
 // Package graph provides the undirected-graph machinery the scheduling
-// algorithms are built on: adjacency-list graphs, unit-disk graph
+// algorithms are built on: frozen CSR adjacency graphs, unit-disk graph
 // construction over point sets, maximal independent sets (the heart of
 // Algorithm Appro's steps 2 and 4), and basic traversal utilities.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/geom"
 )
 
-// Undirected is a simple undirected graph on vertices 0..n-1 with
-// adjacency lists. Self-loops and parallel edges are rejected.
+// Undirected is a simple undirected graph on vertices 0..n-1, stored as a
+// frozen compressed-sparse-row (CSR) adjacency: one flat arc array plus
+// per-vertex offsets. Graphs are immutable once built — construct them with
+// UnitDisk, IntersectionGraph, or FromEdges. The flat layout halves memory
+// versus per-vertex slices (no slice headers, no growth slack) and makes
+// neighbor scans a single contiguous read.
 type Undirected struct {
-	adj   [][]int32
+	off   []int32 // len n+1; vertex u's arcs live in adj[off[u]:off[u+1]]
+	adj   []int32 // len 2*edges; both directions of every edge
 	edges int
 }
 
-// NewUndirected returns an empty graph on n vertices.
-func NewUndirected(n int) *Undirected {
+// emptyGraph returns a graph on n vertices with no edges.
+func emptyGraph(n int) *Undirected {
 	if n < 0 {
 		n = 0
 	}
-	return &Undirected{adj: make([][]int32, n)}
+	return &Undirected{off: make([]int32, n+1)}
+}
+
+// FromEdges builds the graph on n vertices containing the given edges.
+// Duplicate edges (in either orientation) are collapsed. It panics on
+// out-of-range vertices or self-loops. Adjacency lists come out ascending.
+func FromEdges(n int, edges [][2]int) *Undirected {
+	if n < 0 {
+		n = 0
+	}
+	// Materialize both directed arcs per edge, then sort+dedup: the CSR
+	// fill becomes a single linear sweep and rows come out sorted.
+	arcs := make([]int64, 0, 2*len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+		}
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at %d", u))
+		}
+		arcs = append(arcs, int64(u)<<32|int64(v), int64(v)<<32|int64(u))
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i] < arcs[j] })
+	g := &Undirected{off: make([]int32, n+1), adj: make([]int32, 0, len(arcs))}
+	var prev int64 = -1
+	for _, a := range arcs {
+		if a == prev {
+			continue
+		}
+		prev = a
+		g.adj = append(g.adj, int32(a&0xffffffff))
+		g.off[a>>32+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.off[i+1] += g.off[i]
+	}
+	g.edges = len(g.adj) / 2
+	return g
 }
 
 // Len returns the number of vertices.
-func (g *Undirected) Len() int { return len(g.adj) }
+func (g *Undirected) Len() int { return len(g.off) - 1 }
 
 // NumEdges returns the number of edges.
 func (g *Undirected) NumEdges() int { return g.edges }
 
-// AddEdge inserts the undirected edge {u, v}. It panics on out-of-range
-// vertices or self-loops, and is a no-op if the edge already exists.
-func (g *Undirected) AddEdge(u, v int) {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj)))
-	}
-	if u == v {
-		panic(fmt.Sprintf("graph: self-loop at %d", u))
-	}
-	if g.HasEdge(u, v) {
-		return
-	}
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
-	g.edges++
-}
-
 // HasEdge reports whether the edge {u, v} exists.
 func (g *Undirected) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+	n := g.Len()
+	if u < 0 || u >= n || v < 0 || v >= n {
 		return false
 	}
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a, u, v = g.adj[v], v, u
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
 	}
-	for _, w := range a {
+	for _, w := range g.Neighbors(u) {
 		if int(w) == v {
 			return true
 		}
@@ -67,14 +94,14 @@ func (g *Undirected) HasEdge(u, v int) bool {
 }
 
 // Degree returns the degree of vertex u.
-func (g *Undirected) Degree(u int) int { return len(g.adj[u]) }
+func (g *Undirected) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
 // MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
 func (g *Undirected) MaxDegree() int {
 	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	for u := 0; u < g.Len(); u++ {
+		if d := g.Degree(u); d > max {
+			max = d
 		}
 	}
 	return max
@@ -82,43 +109,86 @@ func (g *Undirected) MaxDegree() int {
 
 // Neighbors returns the adjacency list of u. The returned slice is owned by
 // the graph and must not be modified.
-func (g *Undirected) Neighbors(u int) []int32 { return g.adj[u] }
+func (g *Undirected) Neighbors(u int) []int32 { return g.adj[g.off[u]:g.off[u+1]] }
 
 // NeighborsSorted returns a sorted copy of u's adjacency list.
 func (g *Undirected) NeighborsSorted(u int) []int {
-	out := make([]int, len(g.adj[u]))
-	for i, w := range g.adj[u] {
+	ns := g.Neighbors(u)
+	out := make([]int, len(ns))
+	for i, w := range ns {
 		out[i] = int(w)
 	}
 	sort.Ints(out)
 	return out
 }
 
+// fromArcs freezes a CSR graph from per-vertex degrees and an emit callback.
+// emit is invoked once and must call put(u, v) for each directed arc exactly
+// as counted in deg; put writes v into u's row at the next free cursor, so
+// arc emission order fixes the row order.
+func fromArcs(n int, deg []int32, emit func(put func(u, v int))) *Undirected {
+	total := int64(0)
+	for _, d := range deg {
+		total += int64(d)
+	}
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d arcs overflow int32 offsets", total))
+	}
+	off := make([]int32, n+1)
+	for i, d := range deg {
+		off[i+1] = off[i] + d
+	}
+	adj := make([]int32, total)
+	cur := append([]int32(nil), off[:n]...)
+	emit(func(u, v int) {
+		adj[cur[u]] = int32(v)
+		cur[u]++
+	})
+	return &Undirected{off: off, adj: adj, edges: int(total) / 2}
+}
+
 // UnitDisk builds the graph on pts with an edge between every pair at
 // Euclidean distance <= radius. This is the paper's charging graph G_c when
 // radius is the charging range gamma, and (with the transmission range) the
-// communication graph G_s. Construction uses a spatial grid and costs
-// O(n + m) expected time.
+// communication graph G_s. Construction makes two spatial-grid passes —
+// count degrees, then fill the frozen CSR rows — and costs O(n + m)
+// expected time with no per-edge dedup scans.
 func UnitDisk(pts []geom.Point, radius float64) *Undirected {
-	g := NewUndirected(len(pts))
-	if radius < 0 || len(pts) == 0 {
-		return g
+	n := len(pts)
+	if radius < 0 || n == 0 {
+		return emptyGraph(n)
 	}
 	cell := radius
 	if cell <= 0 {
 		cell = 1
 	}
 	grid := geom.NewGrid(pts, cell)
+	deg := make([]int32, n)
 	var buf []int
 	for u := range pts {
 		buf = grid.NeighborsOf(u, radius, buf)
 		for _, v := range buf {
 			if v > u { // each pair once
-				g.AddEdge(u, v)
+				deg[u]++
+				deg[v]++
 			}
 		}
 	}
-	return g
+	return fromArcs(n, deg, func(put func(u, v int)) {
+		// Same query order as the count pass: for each u ascending, the
+		// neighbors v > u in grid order. Row u therefore holds its lower
+		// neighbors ascending, then its upper neighbors in grid order —
+		// identical to the append order of incremental construction.
+		for u := range pts {
+			buf = grid.NeighborsOf(u, radius, buf)
+			for _, v := range buf {
+				if v > u {
+					put(u, v)
+					put(v, u)
+				}
+			}
+		}
+	})
 }
 
 // IntersectionGraph builds the paper's auxiliary graph H over the points
@@ -131,40 +201,55 @@ func UnitDisk(pts []geom.Point, radius float64) *Undirected {
 // nodes are indices into pts. The resulting graph has len(nodes) vertices,
 // vertex i standing for pts[nodes[i]].
 func IntersectionGraph(pts []geom.Point, nodes []int, radius float64) *Undirected {
-	h := NewUndirected(len(nodes))
-	if radius < 0 || len(nodes) == 0 {
-		return h
+	n := len(nodes)
+	if radius < 0 || n == 0 {
+		return emptyGraph(n)
 	}
-	// coverSets[i] = sorted sensor indices within radius of nodes[i].
+	// Cover sets live in one flat arena: covArena[covOff[i]:covOff[i+1]] =
+	// sorted sensor indices within radius of nodes[i].
 	grid := geom.NewGrid(pts, radius)
-	coverSets := make([][]int, len(nodes))
+	covOff := make([]int32, n+1)
+	var covArena []int
 	var buf []int
 	for i, nd := range nodes {
 		buf = grid.Neighbors(pts[nd], radius, buf)
-		cs := make([]int, len(buf))
-		copy(cs, buf)
-		sort.Ints(cs)
-		coverSets[i] = cs
+		covArena = append(covArena, buf...)
+		covOff[i+1] = int32(len(covArena))
+		sort.Ints(covArena[covOff[i]:])
 	}
+	cover := func(i int) []int { return covArena[covOff[i]:covOff[i+1]] }
 	// Candidate pairs are nodes within 2*radius of each other; check the
-	// exact intersection condition on each candidate.
-	nodePts := make([]geom.Point, len(nodes))
+	// exact intersection condition on each candidate. The expensive set
+	// intersection runs once per pair: accepted pairs are buffered in
+	// discovery order, then counted and filled into the CSR rows.
+	nodePts := make([]geom.Point, n)
 	for i, nd := range nodes {
 		nodePts[i] = pts[nd]
 	}
 	ngrid := geom.NewGrid(nodePts, 2*radius)
+	var pairs [][2]int32
+	deg := make([]int32, n)
 	for i := range nodes {
 		buf = ngrid.NeighborsOf(i, 2*radius, buf)
 		for _, j := range buf {
 			if j <= i {
 				continue
 			}
-			if sortedIntersect(coverSets[i], coverSets[j]) {
-				h.AddEdge(i, j)
+			if sortedIntersect(cover(i), cover(j)) {
+				pairs = append(pairs, [2]int32{int32(i), int32(j)})
+				deg[i]++
+				deg[j]++
 			}
 		}
 	}
-	return h
+	return fromArcs(n, deg, func(put func(u, v int)) {
+		// Discovery order reproduces incremental append order (lower
+		// neighbors ascending, then upper neighbors in grid order).
+		for _, p := range pairs {
+			put(int(p[0]), int(p[1]))
+			put(int(p[1]), int(p[0]))
+		}
+	})
 }
 
 // sortedIntersect reports whether two ascending int slices share an element.

@@ -2,19 +2,18 @@ package graph
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/geom"
 )
 
 func TestUndirectedBasics(t *testing.T) {
-	g := NewUndirected(4)
-	if g.Len() != 4 || g.NumEdges() != 0 {
+	if g := FromEdges(4, nil); g.Len() != 4 || g.NumEdges() != 0 {
 		t.Fatalf("empty graph: Len=%d NumEdges=%d", g.Len(), g.NumEdges())
 	}
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(0, 1) // duplicate ignored
+	// Duplicate edges (either orientation) collapse.
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 1}, {1, 0}})
 	if g.NumEdges() != 2 {
 		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
 	}
@@ -39,8 +38,7 @@ func TestUndirectedBasics(t *testing.T) {
 	}
 }
 
-func TestAddEdgePanics(t *testing.T) {
-	g := NewUndirected(2)
+func TestFromEdgesPanics(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		u, v int
@@ -52,11 +50,127 @@ func TestAddEdgePanics(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("AddEdge(%d,%d) did not panic", tc.u, tc.v)
+					t.Errorf("FromEdges with (%d,%d) did not panic", tc.u, tc.v)
 				}
 			}()
-			g.AddEdge(tc.u, tc.v)
+			FromEdges(2, [][2]int{{tc.u, tc.v}})
 		})
+	}
+}
+
+// referenceAdjacency builds per-vertex adjacency lists by incremental
+// append — the representation the CSR builders replaced — running the
+// same pair-once grid loops, so both the edge sets and the within-row
+// neighbor order of the frozen builders can be checked exactly.
+func referenceAdjacency(n int, pairs func(emit func(u, v int))) [][]int32 {
+	adj := make([][]int32, n)
+	pairs(func(u, v int) {
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	})
+	return adj
+}
+
+func checkAgainstReference(t *testing.T, g *Undirected, ref [][]int32) {
+	t.Helper()
+	if g.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(ref))
+	}
+	for u := range ref {
+		got := g.Neighbors(u)
+		if len(got) != len(ref[u]) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", u, len(got), len(ref[u]))
+		}
+		for i := range got {
+			if got[i] != ref[u][i] {
+				t.Fatalf("vertex %d: neighbor order diverged at %d: got %v, want %v",
+					u, i, got, ref[u])
+			}
+		}
+	}
+}
+
+// TestUnitDiskCSRMatchesReferenceOrder property-tests that the two-pass
+// CSR UnitDisk reproduces the incremental builder's adjacency byte for
+// byte — including within-row neighbor order, which downstream tiebreaks
+// (latestNeighborFinish in core) observe.
+func TestUnitDiskCSRMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(300)
+		side := 5 + rng.Float64()*60
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		r := 0.5 + rng.Float64()*6
+		g := UnitDisk(pts, r)
+		cell := r
+		grid := geom.NewGrid(pts, cell)
+		var buf []int
+		ref := referenceAdjacency(n, func(emit func(u, v int)) {
+			for u := range pts {
+				buf = grid.NeighborsOf(u, r, buf)
+				for _, v := range buf {
+					if v > u {
+						emit(u, v)
+					}
+				}
+			}
+		})
+		checkAgainstReference(t, g, ref)
+	}
+}
+
+// TestIntersectionGraphCSRMatchesReferenceOrder does the same for the
+// auxiliary graph H: candidate pairs in grid order, accepted by the exact
+// cover-set intersection condition, appended incrementally.
+func TestIntersectionGraphCSRMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(250)
+		side := 5 + rng.Float64()*50
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		r := 0.5 + rng.Float64()*4
+		var nodes []int
+		for i := range pts {
+			if rng.Float64() < 0.4 {
+				nodes = append(nodes, i)
+			}
+		}
+		h := IntersectionGraph(pts, nodes, r)
+		grid := geom.NewGrid(pts, r)
+		coverSets := make([][]int, len(nodes))
+		var buf []int
+		for i, nd := range nodes {
+			buf = grid.Neighbors(pts[nd], r, buf)
+			cs := make([]int, len(buf))
+			copy(cs, buf)
+			sort.Ints(cs)
+			coverSets[i] = cs
+		}
+		nodePts := make([]geom.Point, len(nodes))
+		for i, nd := range nodes {
+			nodePts[i] = pts[nd]
+		}
+		var ref [][]int32
+		if len(nodes) > 0 {
+			ngrid := geom.NewGrid(nodePts, 2*r)
+			ref = referenceAdjacency(len(nodes), func(emit func(u, v int)) {
+				for i := range nodes {
+					buf = ngrid.NeighborsOf(i, 2*r, buf)
+					for _, j := range buf {
+						if j > i && sortedIntersect(coverSets[i], coverSets[j]) {
+							emit(i, j)
+						}
+					}
+				}
+			})
+		}
+		checkAgainstReference(t, h, ref)
 	}
 }
 

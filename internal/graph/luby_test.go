@@ -21,22 +21,17 @@ func TestLubyMISValid(t *testing.T) {
 }
 
 func TestLubyMISEmptyAndEdgeless(t *testing.T) {
-	if set := LubyMIS(NewUndirected(0), 1); set != nil {
+	if set := LubyMIS(FromEdges(0, nil), 1); set != nil {
 		t.Errorf("empty graph: %v", set)
 	}
-	set := LubyMIS(NewUndirected(7), 1)
+	set := LubyMIS(FromEdges(7, nil), 1)
 	if len(set) != 7 {
 		t.Errorf("edgeless: |set| = %d, want 7", len(set))
 	}
 }
 
 func TestLubyMISCompleteGraph(t *testing.T) {
-	g := NewUndirected(10)
-	for u := 0; u < 10; u++ {
-		for v := u + 1; v < 10; v++ {
-			g.AddEdge(u, v)
-		}
-	}
+	g := completeGraph(10)
 	if set := LubyMIS(g, 3); len(set) != 1 {
 		t.Errorf("complete graph: |set| = %d, want 1", len(set))
 	}

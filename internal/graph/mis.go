@@ -24,6 +24,11 @@ const (
 	MISMaxDegree
 	// MISRandom scans vertices in an order drawn from the provided source.
 	MISRandom
+	// MISLuby runs Luby's distributed algorithm (see LubyMIS) with a seed
+	// drawn from the provided source. Rounds are goroutine-parallel, so this
+	// is the strategy of choice at large n; for a fixed seed the result is
+	// deterministic regardless of worker count.
+	MISLuby
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +42,8 @@ func (o MISOrder) String() string {
 		return "max-degree"
 	case MISRandom:
 		return "random"
+	case MISLuby:
+		return "luby"
 	default:
 		return "unknown"
 	}
@@ -60,6 +67,12 @@ func MaximalIndependentSet(g *Undirected, order MISOrder, rng *rand.Rand) []int 
 			perm = rng.Perm(n)
 		}
 		return misScan(g, perm)
+	case MISLuby:
+		seed := int64(1)
+		if rng != nil {
+			seed = rng.Int63()
+		}
+		return LubyMIS(g, seed)
 	default: // MISLexicographic and any unknown value
 		idx := make([]int, n)
 		for i := range idx {
@@ -101,6 +114,7 @@ func misByDegree(g *Undirected, wantMin bool) []int {
 	}
 	remaining := n
 	var out []int
+	remove := make([]int, 0, 16) // scratch, reused across selections
 	for remaining > 0 {
 		best := -1
 		for v := 0; v < n; v++ {
@@ -115,7 +129,7 @@ func misByDegree(g *Undirected, wantMin bool) []int {
 		}
 		out = append(out, best)
 		// Remove best and its alive neighbors; fix residual degrees.
-		remove := []int{best}
+		remove = append(remove[:0], best)
 		for _, w := range g.Neighbors(best) {
 			if alive[w] {
 				remove = append(remove, int(w))

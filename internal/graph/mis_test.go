@@ -8,20 +8,30 @@ import (
 )
 
 func randomGraph(rng *rand.Rand, n int, p float64) *Undirected {
-	g := NewUndirected(n)
+	var edges [][2]int
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				g.AddEdge(u, v)
+				edges = append(edges, [2]int{u, v})
 			}
 		}
 	}
-	return g
+	return FromEdges(n, edges)
+}
+
+func completeGraph(n int) *Undirected {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return FromEdges(n, edges)
 }
 
 func TestMISAllOrdersValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	orders := []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom}
+	orders := []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom, MISLuby}
 	for trial := 0; trial < 30; trial++ {
 		n := rng.Intn(60)
 		g := randomGraph(rng, n, rng.Float64()*0.5)
@@ -41,14 +51,14 @@ func TestMISAllOrdersValid(t *testing.T) {
 }
 
 func TestMISEmptyGraph(t *testing.T) {
-	g := NewUndirected(0)
+	g := FromEdges(0, nil)
 	if set := MaximalIndependentSet(g, MISLexicographic, nil); set != nil {
 		t.Errorf("empty graph: MIS = %v, want nil", set)
 	}
 }
 
 func TestMISNoEdges(t *testing.T) {
-	g := NewUndirected(5)
+	g := FromEdges(5, nil)
 	set := MaximalIndependentSet(g, MISMinDegree, nil)
 	if len(set) != 5 {
 		t.Errorf("edgeless graph: |MIS| = %d, want 5", len(set))
@@ -56,13 +66,8 @@ func TestMISNoEdges(t *testing.T) {
 }
 
 func TestMISCompleteGraph(t *testing.T) {
-	g := NewUndirected(6)
-	for u := 0; u < 6; u++ {
-		for v := u + 1; v < 6; v++ {
-			g.AddEdge(u, v)
-		}
-	}
-	for _, ord := range []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom} {
+	g := completeGraph(6)
+	for _, ord := range []MISOrder{MISLexicographic, MISMinDegree, MISMaxDegree, MISRandom, MISLuby} {
 		set := MaximalIndependentSet(g, ord, rand.New(rand.NewSource(9)))
 		if len(set) != 1 {
 			t.Errorf("%v: complete graph |MIS| = %d, want 1", ord, len(set))
@@ -73,10 +78,7 @@ func TestMISCompleteGraph(t *testing.T) {
 func TestMISStar(t *testing.T) {
 	// Star K_{1,5}: min-degree picks leaves (size 5), max-degree picks the
 	// hub (size 1).
-	g := NewUndirected(6)
-	for v := 1; v < 6; v++ {
-		g.AddEdge(0, v)
-	}
+	g := FromEdges(6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
 	if set := MaximalIndependentSet(g, MISMinDegree, nil); len(set) != 5 {
 		t.Errorf("min-degree star: |MIS| = %d, want 5", len(set))
 	}
@@ -109,8 +111,7 @@ func TestMISUnitDiskPairwiseDistance(t *testing.T) {
 }
 
 func TestIsIndependentSetRejectsBadInput(t *testing.T) {
-	g := NewUndirected(3)
-	g.AddEdge(0, 1)
+	g := FromEdges(3, [][2]int{{0, 1}})
 	if IsIndependentSet(g, []int{0, 1}) {
 		t.Error("adjacent pair accepted")
 	}
@@ -140,6 +141,7 @@ func TestMISOrderString(t *testing.T) {
 		{MISMinDegree, "min-degree"},
 		{MISMaxDegree, "max-degree"},
 		{MISRandom, "random"},
+		{MISLuby, "luby"},
 		{MISOrder(99), "unknown"},
 	} {
 		if got := tc.o.String(); got != tc.want {
@@ -149,10 +151,7 @@ func TestMISOrderString(t *testing.T) {
 }
 
 func TestBFSAndComponents(t *testing.T) {
-	g := NewUndirected(7)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(3, 4)
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
 	// 5, 6 isolated.
 	depths := map[int]int{}
 	n := BFS(g, 0, func(v, d int) { depths[v] = d })
@@ -181,7 +180,7 @@ func TestBFSAndComponents(t *testing.T) {
 	if IsConnected(g) {
 		t.Error("g is not connected")
 	}
-	g2 := NewUndirected(1)
+	g2 := FromEdges(1, nil)
 	if !IsConnected(g2) {
 		t.Error("single vertex is connected")
 	}

@@ -179,7 +179,7 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 		}
 	}
 	hi := TourDelay(in, order)
-	if parts := splitAtTarget(in, order, hi); len(parts) > in.K {
+	if splitCountAtTarget(in, order, hi) > in.K {
 		// Cannot happen (one tour always fits at hi), but guard anyway.
 		hi *= 2
 	}
@@ -190,7 +190,7 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 			}
 		}
 		mid := (lo + hi) / 2
-		if len(splitAtTarget(in, order, mid)) <= in.K {
+		if splitCountAtTarget(in, order, mid) <= in.K {
 			hi = mid
 		} else {
 			lo = mid
@@ -280,6 +280,34 @@ func splitAtTarget(in Input, order []int, target float64) [][]int {
 		}
 		part := append([]int(nil), order[i:j]...)
 		parts = append(parts, part)
+		i = j
+	}
+	return parts
+}
+
+// splitCountAtTarget is splitAtTarget without materializing the parts: the
+// same greedy packing loop, float for float, returning only how many tours
+// it needs. The binary search in MinMax probes ~60 targets and cares only
+// about the count, so this keeps the search allocation-free.
+func splitCountAtTarget(in Input, order []int, target float64) int {
+	parts := 0
+	i := 0
+	for i < len(order) {
+		j := i + 1
+		cost := TourDelay(in, order[i:j])
+		for j < len(order) {
+			next := cost -
+				geom.Dist(in.Nodes[order[j-1]], in.Depot)/in.Speed +
+				geom.Dist(in.Nodes[order[j-1]], in.Nodes[order[j]])/in.Speed +
+				in.service(order[j]) +
+				geom.Dist(in.Nodes[order[j]], in.Depot)/in.Speed
+			if next > target+1e-12 {
+				break
+			}
+			cost = next
+			j++
+		}
+		parts++
 		i = j
 	}
 	return parts

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts pprof profiling for a CLI run: a CPU profile
+// streamed to cpuPath and/or an allocation profile written to memPath at
+// stop time (either may be empty to skip it). It returns a stop function
+// that must be called exactly once, on every exit path, before the
+// process terminates — os.Exit skips deferred calls, so callers that exit
+// with a status code need to stop explicitly first.
+//
+// The memory profile is the "allocs" profile (every allocation since
+// program start, plus in-use data after a forced GC), which is the view
+// the planner's allocs/op acceptance numbers come from.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // settle in-use stats before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && first == nil {
+				first = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesBoth(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have samples to encode.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	buf := make([]byte, 1<<20)
+	_ = buf
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop must be a no-op, got %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestStartProfilesEmptyPathsNoop(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "x.prof"), ""); err == nil {
+		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+}

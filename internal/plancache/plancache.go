@@ -96,7 +96,8 @@ func Identity(p core.Planner) (name string, opts *core.Options) {
 // plan survives. nil means the zero (paper-default) options.
 //
 //   - MISOrder zero means graph.MISMaxDegree (Appro's documented default).
-//   - Seed only matters under graph.MISRandom; it is zeroed otherwise.
+//   - Seed only matters under the seeded orders graph.MISRandom and
+//     graph.MISLuby; it is zeroed under the deterministic ones.
 //   - TourBuilder zero means ktour.BuilderChristofides.
 //   - TourRestarts <= 1 all mean the single sequential descent.
 //   - Workers affects speed only, never the schedule, and is dropped.
@@ -108,7 +109,7 @@ func canonOptions(opts *core.Options) core.Options {
 	if o.MISOrder == 0 {
 		o.MISOrder = graph.MISMaxDegree
 	}
-	if o.MISOrder != graph.MISRandom {
+	if o.MISOrder != graph.MISRandom && o.MISOrder != graph.MISLuby {
 		o.Seed = 0
 	}
 	if o.TourBuilder == 0 {

@@ -23,6 +23,7 @@ func init() {
 			TourRestarts: true,
 			Seeded:       true,
 			MultiNode:    true,
+			ParallelMIS:  true,
 		},
 		New: func(o core.Options) core.Planner { return core.ApproPlanner{Opts: o} },
 	})

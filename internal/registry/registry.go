@@ -42,6 +42,10 @@ type Capabilities struct {
 	// MultiNode: stops charge several sensors at once (the paper's
 	// one-to-many scheme) rather than one-to-one point charging.
 	MultiNode bool `json:"multi_node"`
+	// ParallelMIS: Options.MISOrder = graph.MISLuby engages the
+	// goroutine-parallel Luby MIS for the large-n regime; the plan stays
+	// byte-identical for a fixed Options.Seed at any worker count.
+	ParallelMIS bool `json:"parallel_mis"`
 }
 
 // list returns the set flags as short labels, for tables and listings.
@@ -57,6 +61,7 @@ func (c Capabilities) list() []string {
 	add(c.TourRestarts, "restarts")
 	add(c.Seeded, "seeded")
 	add(c.MultiNode, "multi-node")
+	add(c.ParallelMIS, "parallel-mis")
 	return out
 }
 

@@ -166,6 +166,20 @@ func TestCapabilityFlagsHonest(t *testing.T) {
 			if (e.Caps.Seeded || e.Caps.TourRestarts) && !e.Caps.Options {
 				t.Errorf("%s: Seeded/TourRestarts flagged without Options — such options would not join the cache key", e.Name)
 			}
+			if e.Caps.ParallelMIS {
+				if !e.Caps.Options || !e.Caps.Seeded {
+					t.Errorf("%s: ParallelMIS flagged without Options+Seeded — the Luby seed must join the cache key", e.Name)
+				}
+				// The parallel MIS must be worker-count-independent for a
+				// fixed seed: that is the determinism the flag advertises.
+				o := core.Options{MISOrder: graph.MISLuby, Seed: 5}
+				a := mustPlan(t, e.New(o), in)
+				o.Workers = 8
+				b := mustPlan(t, e.New(o), in)
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("%s: flagged ParallelMIS but the Luby plan depends on the worker count", e.Name)
+				}
+			}
 			if e.Caps.Context {
 				if _, err := e.New(core.Options{}).Plan(cancelled, in); err == nil {
 					t.Errorf("%s: flagged Context but planned under a cancelled context", e.Name)

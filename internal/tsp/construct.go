@@ -2,6 +2,7 @@ package tsp
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/geom"
@@ -127,12 +128,11 @@ func Christofides(pts []geom.Point, start int) Tour {
 		return Tour{Order: order}
 	}
 	tree := mst.Euclidean(pts, start)
-	// Multigraph adjacency: MST edges plus matching edges.
-	adj := make([][]int, n)
+	// Multigraph edge list: MST edges plus matching edges.
+	edges := make([][2]int, 0, n+n/2)
 	degree := make([]int, n)
 	addEdge := func(u, v int) {
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		edges = append(edges, [2]int{u, v})
 		degree[u]++
 		degree[v]++
 	}
@@ -151,7 +151,7 @@ func Christofides(pts []geom.Point, start int) Tour {
 	for _, e := range greedyMatching(pts, odd) {
 		addEdge(e[0], e[1])
 	}
-	circuit := eulerCircuit(adj, start)
+	circuit := eulerCircuit(n, degree, edges, start)
 	// Shortcut repeated vertices.
 	order := make([]int, 0, n)
 	seen := make([]bool, n)
@@ -191,48 +191,56 @@ func greedyMatching(pts []geom.Point, odd []int) [][2]int {
 	return out
 }
 
-// eulerCircuit returns an Eulerian circuit of the connected multigraph adj
-// starting at start, using Hierholzer's algorithm. Every vertex must have
-// even degree. adj is consumed.
-func eulerCircuit(adj [][]int, start int) []int {
-	// Track used edge slots per vertex via head pointers; because the
-	// multigraph stores each edge twice we mark consumption with a
-	// per-vertex multiset of pending partners.
-	pending := make([]map[int]int, len(adj))
-	for v, ns := range adj {
-		pending[v] = make(map[int]int, len(ns))
-		for _, w := range ns {
-			pending[v][w]++
-		}
+// eulerCircuit returns an Eulerian circuit of the connected multigraph
+// given by its edge list (each edge once; degree is the resulting degree
+// array) starting at start, using Hierholzer's algorithm. Every vertex
+// must have even degree.
+//
+// Half-edges live in a CSR arena: each edge contributes an arc to both
+// endpoints, packed as partner<<32|edgeID. Sorting every vertex's arc
+// segment makes "first arc whose edge is unused" equal to "lowest pending
+// partner" — the deterministic pick the earlier per-vertex multiset
+// implementation made — while a monotone head pointer per vertex keeps the
+// whole walk O(m log m) with O(1) allocations. (Skipped arcs stay used
+// forever, so heads never need to back up.)
+func eulerCircuit(n int, degree []int, edges [][2]int, start int) []int {
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(degree[v])
 	}
-	takeEdge := func(u, v int) {
-		pending[u][v]--
-		if pending[u][v] == 0 {
-			delete(pending[u], v)
-		}
-		pending[v][u]--
-		if pending[v][u] == 0 {
-			delete(pending[v], u)
-		}
+	arcs := make([]int64, off[n])
+	cur := append(make([]int32, 0, n), off[:n]...)
+	for id, e := range edges {
+		u, v := e[0], e[1]
+		arcs[cur[u]] = int64(v)<<32 | int64(id)
+		cur[u]++
+		arcs[cur[v]] = int64(u)<<32 | int64(id)
+		cur[v]++
 	}
-	var circuit []int
-	stack := []int{start}
+	for v := 0; v < n; v++ {
+		slices.Sort(arcs[off[v]:off[v+1]])
+	}
+	used := make([]bool, len(edges))
+	head := cur[:0] // reuse as head pointers; cur is dead after the fill
+	head = append(head, off[:n]...)
+	circuit := make([]int, 0, len(arcs)/2+1)
+	stack := make([]int, 0, len(arcs)/2+1)
+	stack = append(stack, start)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
-		if len(pending[v]) == 0 {
+		h := head[v]
+		for h < off[v+1] && used[arcs[h]&0xffffffff] {
+			h++
+		}
+		head[v] = h
+		if h == off[v+1] {
 			circuit = append(circuit, v)
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		// Pick any pending partner deterministically (lowest index).
-		next := -1
-		for w := range pending[v] {
-			if next < 0 || w < next {
-				next = w
-			}
-		}
-		takeEdge(v, next)
-		stack = append(stack, next)
+		a := arcs[h]
+		used[a&0xffffffff] = true
+		stack = append(stack, int(a>>32))
 	}
 	// Reverse so the circuit starts at start.
 	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
