@@ -14,6 +14,7 @@
 //	wrsn-bench -fig 3 -instances 30 -csv
 //	wrsn-bench -fig F -instances 10 -days 90
 //	wrsn-bench -fig ablation
+//	wrsn-bench -scaling 1000,10000 -seed 1 -budget kminmax=30
 //
 // Output is one aligned text table per panel (x column plus one column per
 // algorithm), or CSV with -csv.
@@ -41,18 +42,22 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", `figure to regenerate: "3", "4", "5" (paper), "C" (clustering extension), "F" (MCV breakdown-rate sweep), "all" or "ablation"`)
-		instances = flag.Int("instances", 10, "random networks per sweep point (paper: 100)")
-		days      = flag.Float64("days", 365, "monitored period in days (paper: one year)")
-		window    = flag.Float64("window", sim.DefaultBatchWindow/3600, "dispatch batching window in hours")
-		seed      = flag.Int64("seed", 0, "base seed for instance generation")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		svgDir    = flag.String("svgdir", "", "also render each figure panel as an SVG line chart into this directory")
-		jsonDir   = flag.String("jsondir", "", "also write each figure panel as machine-readable JSON into this directory")
-		workers   = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS); figure tables are byte-identical at any value")
-		planCache = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, instance) in a bounded in-memory LRU")
-		verify    = flag.Bool("verify", false, "run the feasibility verifier every round")
-		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+		fig        = flag.String("fig", "all", `figure to regenerate: "3", "4", "5" (paper), "C" (clustering extension), "F" (MCV breakdown-rate sweep), "all" or "ablation"`)
+		scaling    = flag.String("scaling", "", `instead of figures, run the BENCH_scaling.json ladder: comma-separated request counts (e.g. "1000,10000"), one cold Appro plan each on a density-scaled field, with per-stage timings`)
+		scalingK   = flag.Int("scaling-k", 4, "chargers per scaling rung")
+		scalingR   = flag.Int("scaling-restarts", 0, "2-opt restarts per scaling rung (<=1 = single descent)")
+		budget     = flag.String("budget", "", `per-stage time budgets asserted on every scaling rung, e.g. "kminmax=30,mis=20" (seconds); a breach exits nonzero`)
+		instances  = flag.Int("instances", 10, "random networks per sweep point (paper: 100)")
+		days       = flag.Float64("days", 365, "monitored period in days (paper: one year)")
+		window     = flag.Float64("window", sim.DefaultBatchWindow/3600, "dispatch batching window in hours")
+		seed       = flag.Int64("seed", 0, "base seed for instance generation")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		svgDir     = flag.String("svgdir", "", "also render each figure panel as an SVG line chart into this directory")
+		jsonDir    = flag.String("jsondir", "", "also write each figure panel as machine-readable JSON into this directory")
+		workers    = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS); figure tables are byte-identical at any value")
+		planCache  = flag.Bool("plan-cache", false, "memoize planner outputs by (planner, instance) in a bounded in-memory LRU")
+		verify     = flag.Bool("verify", false, "run the feasibility verifier every round")
+		quiet      = flag.Bool("quiet", false, "suppress progress lines")
 		timeout    = flag.Duration("timeout", 0, "abort after this long, reporting whatever completed (0 = no limit)")
 		traceJSON  = flag.String("trace-json", "", `write aggregated stage timings and counters as JSON to this file ("-" for stderr)`)
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -94,7 +99,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	err = run(ctx, *fig, opt, *csv, *svgDir, *jsonDir)
+	if *scaling != "" {
+		err = runScaling(ctx, *scaling, *scalingK, *seed, *scalingR, *budget, *csv)
+	} else {
+		err = run(ctx, *fig, opt, *csv, *svgDir, *jsonDir)
+	}
 	if tracer != nil {
 		if terr := writeTrace(*traceJSON, tracer); terr != nil && err == nil {
 			err = terr

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/export"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// scalingDensity holds the request density of the scaling ladder at the
+// paper's: 0.12 sensors per square meter puts n=1200 exactly on the
+// 100x100 field of Section VI, and side = sqrt(n/0.12) for every other
+// rung. It mirrors internal/core/scaling_bench_test.go.
+const scalingDensity = 0.12
+
+// runScaling executes the BENCH_scaling.json ladder: one cold Appro plan
+// per rung of the comma-separated n ladder on a density-scaled field,
+// reporting per-stage timings from the obs tracer — including the
+// kminmax/mst, kminmax/match, kminmax/2opt and kminmax/split sub-spans
+// that attribute the K-minMax stage to its kernels. budget is a
+// comma-separated list of stage=seconds assertions (e.g.
+// "kminmax=30,mis=20") checked against every rung; a breach fails the
+// run after the table prints, so CI can hold stage regressions out.
+func runScaling(ctx context.Context, ladder string, k int, seed int64, restarts int, budget string, csv bool) error {
+	ns, err := parseLadder(ladder)
+	if err != nil {
+		return err
+	}
+	budgets, err := parseBudget(budget)
+	if err != nil {
+		return err
+	}
+	stages := []string{
+		obs.StageChargingGraph, obs.StageMIS, obs.StageKMinMax,
+		obs.StageKMinMaxMST, obs.StageKMinMaxMatch, obs.StageKMinMaxTwoOpt, obs.StageKMinMaxSplit,
+		obs.StageInsertion,
+	}
+	tb := export.NewTable(
+		fmt.Sprintf("Appro scaling ladder, density %.2f sensors/unit^2, K=%d, seed %d", scalingDensity, k, seed),
+		"n", "field", "total (s)", "graph", "mis", "kminmax", "..mst", "..match", "..2opt", "..split", "insertion")
+	var breaches []string
+	for _, n := range ns {
+		side := math.Sqrt(float64(n) / scalingDensity)
+		in := scalingInstance(n, k, seed, side)
+		planner, err := repro.NewPlannerWithOptions("Appro", repro.ApproOptions{TourRestarts: restarts})
+		if err != nil {
+			return err
+		}
+		tracer := obs.New()
+		start := time.Now()
+		if _, err := planner.Plan(obs.WithTracer(ctx, tracer), in); err != nil {
+			return fmt.Errorf("scaling rung n=%d: %w", n, err)
+		}
+		total := time.Since(start).Seconds()
+		row := []string{export.I(n), export.F(side, 2), export.F(total, 3)}
+		for _, st := range stages {
+			row = append(row, export.F(tracer.StageSeconds(st), 3))
+		}
+		tb.AddRow(row...)
+		for stage, limit := range budgets {
+			if got := tracer.StageSeconds(stage); got > limit {
+				breaches = append(breaches, fmt.Sprintf("n=%d stage %s took %.3fs, budget %.3fs", n, stage, got, limit))
+			}
+		}
+	}
+	if csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("stage budget exceeded: %s", strings.Join(breaches, "; "))
+	}
+	return nil
+}
+
+// parseLadder parses the comma-separated rung sizes.
+func parseLadder(ladder string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(ladder, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scaling rung %q (want positive integers, comma-separated)", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("-scaling given but no rungs parsed from %q", ladder)
+	}
+	return ns, nil
+}
+
+// parseBudget parses "stage=seconds,stage=seconds" into limits.
+func parseBudget(budget string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range strings.Split(budget, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		stage, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -budget entry %q (want stage=seconds)", part)
+		}
+		sec, err := strconv.ParseFloat(val, 64)
+		if err != nil || sec <= 0 {
+			return nil, fmt.Errorf("bad -budget seconds in %q", part)
+		}
+		out[stage] = sec
+	}
+	return out, nil
+}
+
+// scalingInstance synthesizes the ladder's request set exactly as
+// cmd/wrsn-plan's buildInstance does — same generator, same seed
+// stream — so ladder rungs here reproduce the recorded wrsn-plan runs.
+func scalingInstance(n, k int, seed int64, side float64) *repro.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &repro.Instance{
+		Depot: geom.Pt(side/2, side/2),
+		Gamma: 2.7,
+		Speed: 1,
+		K:     k,
+	}
+	for i := 0; i < n; i++ {
+		in.Requests = append(in.Requests, repro.Request{
+			Pos:      geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			Duration: (1.2 + 0.3*rng.Float64()) * 3600,
+			Lifetime: (1 + rng.Float64()*6) * 86400,
+		})
+	}
+	return in
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/tsp"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func main() {
 		misFlag    = flag.String("mis", "", `MIS strategy for options-capable planners: "max-degree" (default), "min-degree", "lexicographic", "random", "luby"`)
 		misSeed    = flag.Int64("mis-seed", 1, `seed for the seeded MIS strategies ("random", "luby")`)
 		restarts   = flag.Int("restarts", 0, "independent 2-opt descents inside the K-minMax tour refinement (<=1 = single sequential descent)")
+		sparseMST  = flag.Int("sparse-mst", 0, "K-minMax MST kernel crossover: run the grid-pruned exact-weight MST at tour size >= this (0 = package default, negative = never)")
+		sparse2opt = flag.Int("sparse-2opt", 0, "K-minMax 2-opt kernel crossover: run the neighbor-list descent at tour size >= this (0 = package default, negative = never; approximate above the crossover)")
+		sparseMtch = flag.Int("sparse-match", 0, "Christofides matching kernel crossover: run the grid-bucketed greedy at odd-vertex count >= this (0 = package default, negative = never; approximate above the crossover)")
 		svgPath    = flag.String("svg", "", "write an SVG rendering of the tours to this file")
 		gantt      = flag.String("gantt", "", "write an SVG timeline of charger activity to this file")
 		compare    = flag.Bool("compare", false, "plan with every registered algorithm and compare objectives")
@@ -63,7 +67,8 @@ func main() {
 		ctx = repro.WithTracer(ctx, tracer)
 	}
 
-	opts, err := plannerOptions(*misFlag, *misSeed, *restarts, *workers)
+	opts, err := plannerOptions(*misFlag, *misSeed, *restarts, *workers,
+		tsp.Thresholds{MST: *sparseMST, TwoOpt: *sparse2opt, Match: *sparseMtch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
 		os.Exit(1)
@@ -97,8 +102,8 @@ func main() {
 // plannerOptions folds the option flags into core options for the
 // options-capable planners. An empty -mis keeps the planner's default
 // (max-degree for Appro).
-func plannerOptions(mis string, misSeed int64, restarts, workers int) (repro.ApproOptions, error) {
-	opts := repro.ApproOptions{Seed: misSeed, TourRestarts: restarts, Workers: workers}
+func plannerOptions(mis string, misSeed int64, restarts, workers int, sparse tsp.Thresholds) (repro.ApproOptions, error) {
+	opts := repro.ApproOptions{Seed: misSeed, TourRestarts: restarts, Workers: workers, Sparse: sparse}
 	switch strings.ToLower(mis) {
 	case "":
 	case "max-degree":

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ktour"
 	"repro/internal/obs"
+	"repro/internal/tsp"
 )
 
 // Options tunes Algorithm Appro. The zero value gives the paper's behavior
@@ -42,6 +43,16 @@ type Options struct {
 	// Workers bounds the goroutines those restarts fan across; <= 0 means
 	// GOMAXPROCS. Affects speed only, never the schedule.
 	Workers int
+	// Sparse tunes the input sizes at which the K-minMax tour kernels
+	// (MST, Christofides matching, 2-opt) abandon their exact quadratic
+	// implementations for the subquadratic ones (tsp.Thresholds; the zero
+	// value keeps the package defaults). Under the defaults every
+	// paper-scale instance (n <= 1200) runs the exact kernels, so
+	// schedules there are byte-identical to the seed. The MST kernel is
+	// weight-exact at any setting; the 2-opt and matching kernels are
+	// approximate above their crossovers, which is why these fields are
+	// part of the plan-cache key.
+	Sparse tsp.Thresholds
 }
 
 // Appro runs Algorithm 1 of the paper and returns a planned schedule for
@@ -163,6 +174,7 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 		Builder:  opts.TourBuilder,
 		Restarts: opts.TourRestarts,
 		Workers:  opts.Workers,
+		Sparse:   opts.Sparse,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: k-minmax subroutine: %w", err)

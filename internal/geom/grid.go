@@ -218,10 +218,25 @@ func (g *Grid) NeighborsOf(i int, r float64, dst []int) []int {
 // distance. It returns (-1, +Inf) when the grid is empty. Ties are broken
 // by the lowest index.
 func (g *Grid) Nearest(q Point) (int, float64) {
+	return g.NearestWhere(q, math.Inf(1), nil)
+}
+
+// NearestWhere returns the index of the indexed point closest to q among
+// those with accept(i) true (a nil accept admits every point) and at
+// distance at most maxDist (inclusive), together with its distance. It
+// returns (-1, +Inf) when no indexed point qualifies. Ties are broken by
+// the lowest index.
+//
+// maxDist is also a search bound: the ring expansion stops as soon as the
+// remaining rings provably lie beyond min(maxDist, best-so-far), so a
+// caller that already holds a candidate (e.g. a component's best outgoing
+// edge in a Boruvka phase) pays only for the rings that could beat it.
+func (g *Grid) NearestWhere(q Point, maxDist float64, accept func(i int) bool) (int, float64) {
 	best, bestD2 := -1, math.Inf(1)
-	if len(g.pts) == 0 {
+	if len(g.pts) == 0 || math.IsNaN(maxDist) || maxDist < 0 {
 		return best, bestD2
 	}
+	maxD2 := maxDist * maxDist
 	// Expand ring by ring around q's cell until a hit is found, then one
 	// extra ring to guarantee correctness (a closer point can live in the
 	// next ring out). The start cell is clamped into the grid: for a query
@@ -239,8 +254,14 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 	for span := 0; span <= maxSpan; span++ {
 		// A point in a ring at cell-distance span is at least
 		// (span-1)*cell away from q, so once that lower bound exceeds
-		// the current best the search is complete.
-		if best >= 0 && float64(span-1)*g.cell > math.Sqrt(bestD2) {
+		// the current best (or the caller's cap) the search is complete.
+		bound := maxDist
+		if best >= 0 {
+			if d := math.Sqrt(bestD2); d < bound {
+				bound = d
+			}
+		}
+		if float64(span-1)*g.cell > bound {
 			break
 		}
 		for dy := -span; dy <= span; dy++ {
@@ -262,7 +283,13 @@ func (g *Grid) Nearest(q Point) (int, float64) {
 					continue
 				}
 				for _, idx := range g.cellPoints(y*g.cols + x) {
+					if accept != nil && !accept(int(idx)) {
+						continue
+					}
 					d2 := DistSq(q, g.pts[idx])
+					if d2 > maxD2 {
+						continue
+					}
 					if d2 < bestD2 || (d2 == bestD2 && int(idx) < best) {
 						best, bestD2 = int(idx), d2
 					}

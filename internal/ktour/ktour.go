@@ -51,6 +51,12 @@ type Input struct {
 	// Workers bounds the goroutines the restarts fan across; <= 0 means
 	// GOMAXPROCS. It affects speed only, never the result.
 	Workers int
+	// Sparse tunes the input sizes at which the grand-tour kernels (MST,
+	// odd-vertex matching, 2-opt) switch from their exact quadratic
+	// implementations to the subquadratic ones; the zero value keeps the
+	// tsp package defaults, under which every paper-scale instance
+	// (n <= 1200) runs the exact kernels. See tsp.Thresholds.
+	Sparse tsp.Thresholds
 }
 
 // Builder names a grand-tour construction heuristic.
@@ -172,6 +178,7 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 	// of the tour order needs at most K tours. lo is a per-node lower
 	// bound (some vehicle must serve the worst single node); hi is the
 	// delay of the whole grand tour done by one vehicle.
+	splitSpan := obs.FromContext(ctx).Start(obs.StageKMinMaxSplit)
 	lo := 0.0
 	for i := 0; i < n; i++ {
 		if t := TourDelay(in, []int{i}); t > lo {
@@ -204,10 +211,12 @@ func MinMax(ctx context.Context, in Input) (*Solution, error) {
 	// (cannot increase any delay, so the max cannot increase).
 	for k := range sol.Tours {
 		if err := ctx.Err(); err != nil {
+			splitSpan.End()
 			return nil, fmt.Errorf("ktour: %w", err)
 		}
 		improveTour(in, sol.Tours[k])
 	}
+	splitSpan.End()
 	for k := range sol.Tours {
 		sol.Delays[k] = TourDelay(in, sol.Tours[k])
 		if sol.Delays[k] > sol.Longest {
@@ -237,13 +246,13 @@ func GrandTourOrder(ctx context.Context, in Input) []int {
 	var tour tsp.Tour
 	switch in.Builder {
 	case BuilderMST:
-		tour = tsp.MSTApprox(pts, 0)
+		tour = tsp.MSTApproxWith(ctx, pts, 0, in.Sparse)
 	case BuilderNearestNeighbor:
 		tour = tsp.NearestNeighbor(pts, 0)
-		tsp.TwoOptRestarts(ctx, &tour, pts, in.Restarts, in.Workers)
+		tsp.TwoOptRestartsWith(ctx, &tour, pts, in.Restarts, in.Workers, in.Sparse)
 	default: // BuilderChristofides and the zero value
-		tour = tsp.Christofides(pts, 0)
-		tsp.TwoOptRestarts(ctx, &tour, pts, in.Restarts, in.Workers)
+		tour = tsp.ChristofidesWith(ctx, pts, 0, in.Sparse)
+		tsp.TwoOptRestartsWith(ctx, &tour, pts, in.Restarts, in.Workers, in.Sparse)
 	}
 	tour.RotateToStart(0)
 	order := make([]int, 0, n)
@@ -329,7 +338,7 @@ func improveTour(in Input, tour []int) {
 		order[i] = i
 	}
 	t := tsp.Tour{Order: order}
-	tsp.TwoOpt(&t, pts, 0)
+	tsp.TwoOptWith(&t, pts, 0, in.Sparse)
 	t.RotateToStart(0)
 	orig := append([]int(nil), tour...)
 	for i := 1; i < len(t.Order); i++ {

@@ -152,13 +152,33 @@ func FromEdges(n int, edges []Edge, root int) *Tree {
 
 // EuclideanPrimHeap is a heap-based Prim over an explicit neighbor graph:
 // pts gives coordinates and neighbors the candidate edges (e.g. a unit-disk
-// graph). Vertices unreachable from root keep Parent -1 and do not appear
-// in Adj. It runs in O(m log n).
-func EuclideanPrimHeap(pts []geom.Point, neighbors func(v int) []int32, root int) *Tree {
+// graph). It runs in O(m log n).
+//
+// The second result is the connectivity contract: true means the tree
+// spans every vertex. When the neighbor graph is disconnected it is
+// false and the result covers only root's reachable component — vertices
+// outside it keep Parent -1 and do not appear in Adj, and Weight counts
+// only the component's edges. Callers that need a spanning tree must
+// check it rather than assume one (EuclideanSparse bridges the remaining
+// components by ring expansion; see its fallback).
+func EuclideanPrimHeap(pts []geom.Point, neighbors func(v int) []int32, root int) (*Tree, bool) {
 	n := len(pts)
 	if n == 0 || root < 0 || root >= n {
-		return nil
+		return nil, false
 	}
+	parent, total, reached := primForest(pts, neighbors, root, false)
+	return buildTree(root, parent, total), reached == n
+}
+
+// primForest is the heap-Prim engine shared by EuclideanPrimHeap and
+// EuclideanSparse. It grows a tree from root over the neighbor graph;
+// with restart true it then re-seeds at the lowest-index unreached vertex
+// until every vertex is reached, producing a minimum spanning forest of
+// the neighbor graph (parent -1 marks the component roots). It returns
+// the parent forest, the total weight of its edges, and the number of
+// vertices reached.
+func primForest(pts []geom.Point, neighbors func(v int) []int32, root int, restart bool) ([]int, float64, int) {
+	n := len(pts)
 	parent := make([]int, n)
 	dist := make([]float64, n)
 	inTree := make([]bool, n)
@@ -169,26 +189,39 @@ func EuclideanPrimHeap(pts []geom.Point, neighbors func(v int) []int32, root int
 	dist[root] = 0
 	pq := &primHeap{items: []primItem{{v: root, d: 0}}}
 	total := 0.0
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(primItem)
-		if inTree[it.v] {
-			continue
-		}
-		inTree[it.v] = true
-		total += it.d
-		for _, w := range neighbors(it.v) {
-			wv := int(w)
-			if inTree[wv] {
+	reached := 0
+	next := 0 // monotone scan cursor for restart seeds
+	for {
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(primItem)
+			if inTree[it.v] {
 				continue
 			}
-			if d := geom.Dist(pts[it.v], pts[wv]); d < dist[wv] {
-				dist[wv] = d
-				parent[wv] = it.v
-				heap.Push(pq, primItem{v: wv, d: d})
+			inTree[it.v] = true
+			reached++
+			total += it.d
+			for _, w := range neighbors(it.v) {
+				wv := int(w)
+				if inTree[wv] {
+					continue
+				}
+				if d := geom.Dist(pts[it.v], pts[wv]); d < dist[wv] {
+					dist[wv] = d
+					parent[wv] = it.v
+					heap.Push(pq, primItem{v: wv, d: d})
+				}
 			}
 		}
+		if !restart || reached == n {
+			break
+		}
+		for next < n && inTree[next] {
+			next++
+		}
+		dist[next] = 0
+		heap.Push(pq, primItem{v: next, d: 0})
 	}
-	return buildTree(root, parent, total)
+	return parent, total, reached
 }
 
 func buildTree(root int, parent []int, weight float64) *Tree {

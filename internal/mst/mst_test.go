@@ -85,7 +85,10 @@ func TestEuclideanMatchesHeapPrim(t *testing.T) {
 			return out
 		}
 		dense := Euclidean(pts, 0)
-		sparse := EuclideanPrimHeap(pts, neighbors, 0)
+		sparse, spanning := EuclideanPrimHeap(pts, neighbors, 0)
+		if !spanning {
+			t.Fatalf("trial %d: complete graph reported non-spanning", trial)
+		}
 		if math.Abs(dense.Weight-sparse.Weight) > 1e-6 {
 			t.Fatalf("trial %d: dense=%v heap=%v", trial, dense.Weight, sparse.Weight)
 		}

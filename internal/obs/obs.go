@@ -41,6 +41,18 @@ const (
 	// StageInsertion covers Algorithm 1's pending-candidate insertion
 	// loop (steps 6-24).
 	StageInsertion = "insertion"
+	// The kminmax/* spans are per-kernel sub-stages nested INSIDE the
+	// kminmax span — they attribute its time to the MST construction, the
+	// Christofides odd-vertex matching, the 2-opt refinement and the
+	// tour-splitting search, and therefore must not be added to the
+	// top-level stages when summing a plan's runtime. Each kernel span
+	// comes with a tsp.<kernel>.dense / tsp.<kernel>.sparse (or
+	// tsp.2opt.full / tsp.2opt.neighbor) counter tick recording which
+	// implementation ran (see internal/tsp's Thresholds).
+	StageKMinMaxMST    = "kminmax/mst"
+	StageKMinMaxMatch  = "kminmax/match"
+	StageKMinMaxTwoOpt = "kminmax/2opt"
+	StageKMinMaxSplit  = "kminmax/split"
 	// StageExecute covers the conflict-aware schedule executor.
 	StageExecute = "execute"
 	// StageVerify covers the independent feasibility verifier.

@@ -1,12 +1,14 @@
 package tsp
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/obs"
 )
 
 // NearestNeighbor builds a tour by repeatedly moving to the closest
@@ -43,11 +45,34 @@ func NearestNeighbor(pts []geom.Point, start int) Tour {
 // resulting tour is at most twice the optimal TSP tour length (triangle
 // inequality).
 func MSTApprox(pts []geom.Point, start int) Tour {
-	tree := mst.Euclidean(pts, start)
+	return MSTApproxWith(context.Background(), pts, start, Thresholds{})
+}
+
+// MSTApproxWith is MSTApprox with explicit kernel thresholds and per-kernel
+// observability: the MST construction is recorded under the kminmax/mst
+// span with a tsp.mst.dense or tsp.mst.sparse counter tick when ctx
+// carries a tracer. Above th's MST crossover the grid-pruned
+// mst.EuclideanSparse runs; it is weight-exact, so the 2-approximation
+// bound is unchanged at every size.
+func MSTApproxWith(ctx context.Context, pts []geom.Point, start int, th Thresholds) Tour {
+	tree := buildMST(ctx, pts, start, th)
 	if tree == nil {
 		return Tour{}
 	}
 	return Tour{Order: tree.PreorderDFS()}
+}
+
+// buildMST runs the dense or the grid-pruned exact MST kernel per th,
+// recording the choice on any tracer in ctx.
+func buildMST(ctx context.Context, pts []geom.Point, start int, th Thresholds) *mst.Tree {
+	tr := obs.FromContext(ctx)
+	defer tr.Start(obs.StageKMinMaxMST).End()
+	if th.SparseMST(len(pts)) {
+		tr.Add("tsp.mst.sparse", 1)
+		return mst.EuclideanSparse(pts, start)
+	}
+	tr.Add("tsp.mst.dense", 1)
+	return mst.Euclidean(pts, start)
 }
 
 // CheapestInsertion builds a tour by starting from the start vertex and
@@ -116,6 +141,18 @@ func CheapestInsertion(pts []geom.Point, start int) Tour {
 // bound of 2 rather than 1.5; in practice it produces noticeably shorter
 // tours than MSTApprox.
 func Christofides(pts []geom.Point, start int) Tour {
+	return ChristofidesWith(context.Background(), pts, start, Thresholds{})
+}
+
+// ChristofidesWith is Christofides with explicit kernel thresholds and
+// per-kernel observability: the MST and the odd-vertex matching are
+// recorded under the kminmax/mst and kminmax/match spans, each with a
+// dense/sparse counter tick, when ctx carries a tracer. Above th's MST
+// crossover the (weight-exact) grid-pruned MST runs; above th's Match
+// crossover the odd vertices are paired by the grid-bucketed
+// nearest-available greedy instead of the sorted-pair greedy — a
+// different (but still valid) matching, so tours can differ there.
+func ChristofidesWith(ctx context.Context, pts []geom.Point, start int, th Thresholds) Tour {
 	n := len(pts)
 	if n == 0 || start < 0 || start >= n {
 		return Tour{}
@@ -127,7 +164,7 @@ func Christofides(pts []geom.Point, start int) Tour {
 		}
 		return Tour{Order: order}
 	}
-	tree := mst.Euclidean(pts, start)
+	tree := buildMST(ctx, pts, start, th)
 	// Multigraph edge list: MST edges plus matching edges.
 	edges := make([][2]int, 0, n+n/2)
 	degree := make([]int, n)
@@ -148,7 +185,18 @@ func Christofides(pts []geom.Point, start int) Tour {
 			odd = append(odd, v)
 		}
 	}
-	for _, e := range greedyMatching(pts, odd) {
+	tr := obs.FromContext(ctx)
+	msp := tr.Start(obs.StageKMinMaxMatch)
+	var match [][2]int
+	if th.SparseMatch(len(odd)) {
+		tr.Add("tsp.match.sparse", 1)
+		match = greedyMatchingSparse(pts, odd)
+	} else {
+		tr.Add("tsp.match.dense", 1)
+		match = greedyMatching(pts, odd)
+	}
+	msp.End()
+	for _, e := range match {
 		addEdge(e[0], e[1])
 	}
 	circuit := eulerCircuit(n, degree, edges, start)
@@ -187,6 +235,49 @@ func greedyMatching(pts []geom.Point, odd []int) [][2]int {
 		}
 		matched[c.i], matched[c.j] = true, true
 		out = append(out, [2]int{odd[c.i], odd[c.j]})
+	}
+	return out
+}
+
+// greedyMatchingSparse pairs up the given vertices by scanning them in
+// ascending order and matching each still-unmatched vertex to its nearest
+// still-unmatched partner, found by grid ring expansion — O(o) bounded
+// searches instead of the O(o^2 log o) candidate-pair slab the sorted
+// greedy builds. len(odd) must be even. The pairing is deterministic
+// (ascending scan, lowest-index distance ties) but generally different
+// from greedyMatching's; both are valid perfect matchings, so Christofides
+// stays within its construction bound either way.
+func greedyMatchingSparse(pts []geom.Point, odd []int) [][2]int {
+	if len(odd) < 2 {
+		return nil
+	}
+	oddPts := make([]geom.Point, len(odd))
+	for i, v := range odd {
+		oddPts[i] = pts[v]
+	}
+	b := geom.Bounds(oddPts)
+	cell := 2 * math.Sqrt((b.Max.X-b.Min.X)*(b.Max.Y-b.Min.Y)/float64(len(odd)))
+	if !(cell > 0) {
+		cell = 1
+	}
+	grid := geom.NewGrid(oddPts, cell)
+	matched := make([]bool, len(odd))
+	unmatched := func(i int) bool { return !matched[i] }
+	out := make([][2]int, 0, len(odd)/2)
+	for i := range odd {
+		if matched[i] {
+			continue
+		}
+		matched[i] = true // exclude i itself from its own search
+		j, _ := grid.NearestWhere(oddPts[i], math.Inf(1), unmatched)
+		if j < 0 {
+			// Unreachable for even inputs with finite coordinates; leave i
+			// unmatched rather than loop.
+			matched[i] = false
+			break
+		}
+		matched[j] = true
+		out = append(out, [2]int{odd[i], odd[j]})
 	}
 	return out
 }

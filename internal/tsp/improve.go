@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -12,7 +13,36 @@ import (
 // move exists or maxRounds passes complete (maxRounds <= 0 means no cap).
 // It never lengthens the tour, and returns the number of improving moves
 // applied.
+//
+// Below Thresholds' TwoOpt crossover (default DefaultTwoOptThreshold)
+// this is the exact quadratic descent TwoOptFull; at or above it the
+// neighbor-list descent TwoOptNeighborList runs instead. Small tours —
+// everything the paper's figures plan — therefore keep the seed's exact
+// kernel and byte-identical results.
 func TwoOpt(t *Tour, pts []geom.Point, maxRounds int) int {
+	return twoOptDispatch(t, pts, maxRounds, Thresholds{})
+}
+
+// TwoOptWith is TwoOpt with explicit kernel thresholds: the exact
+// quadratic descent below th's TwoOpt crossover, the neighbor-list
+// descent at or above it.
+func TwoOptWith(t *Tour, pts []geom.Point, maxRounds int, th Thresholds) int {
+	return twoOptDispatch(t, pts, maxRounds, th)
+}
+
+// twoOptDispatch routes a descent to the exact or the neighbor-list
+// kernel per th.
+func twoOptDispatch(t *Tour, pts []geom.Point, maxRounds int, th Thresholds) int {
+	if th.SparseTwoOpt(len(t.Order)) {
+		return TwoOptNeighborList(t, pts, DefaultNeighborK, maxRounds)
+	}
+	return TwoOptFull(t, pts, maxRounds)
+}
+
+// TwoOptFull is the exact quadratic 2-opt descent: every vertex pair is a
+// candidate exchange. It is the kernel TwoOpt runs below the sparse
+// threshold, exported for oracle tests and ablations.
+func TwoOptFull(t *Tour, pts []geom.Point, maxRounds int) int {
 	n := len(t.Order)
 	if n < 4 {
 		return 0
@@ -63,8 +93,27 @@ func TwoOpt(t *Tour, pts []geom.Point, maxRounds int) int {
 // that did run (always including none-yet = the input tour) still wins, so
 // TwoOptRestarts degrades to a weaker optimizer rather than failing.
 func TwoOptRestarts(ctx context.Context, t *Tour, pts []geom.Point, restarts, workers int) int {
+	return TwoOptRestartsWith(ctx, t, pts, restarts, workers, Thresholds{})
+}
+
+// TwoOptRestartsWith is TwoOptRestarts with explicit kernel thresholds:
+// each descent runs the exact quadratic kernel below th's TwoOpt
+// crossover and the neighbor-list kernel at or above it. The whole
+// refinement is recorded under the obs kminmax/2opt span with a
+// tsp.2opt.full or tsp.2opt.neighbor counter tick, when ctx carries a
+// tracer.
+func TwoOptRestartsWith(ctx context.Context, t *Tour, pts []geom.Point, restarts, workers int, th Thresholds) int {
+	tr := obs.FromContext(ctx)
+	if n := len(t.Order); n >= 4 {
+		defer tr.Start(obs.StageKMinMaxTwoOpt).End()
+		if th.SparseTwoOpt(n) {
+			tr.Add("tsp.2opt.neighbor", 1)
+		} else {
+			tr.Add("tsp.2opt.full", 1)
+		}
+	}
 	if restarts <= 1 {
-		return TwoOpt(t, pts, 0)
+		return twoOptDispatch(t, pts, 0, th)
 	}
 	type candidate struct {
 		order []int
@@ -77,7 +126,7 @@ func TwoOptRestarts(ctx context.Context, t *Tour, pts []geom.Point, restarts, wo
 		if r > 0 {
 			doubleBridge(c.Order, rand.New(rand.NewSource(int64(r))))
 		}
-		moves := TwoOpt(&c, pts, 0)
+		moves := twoOptDispatch(&c, pts, 0, th)
 		return candidate{order: c.Order, len: c.Length(pts), moves: moves, ran: true}, nil
 	})
 	best := candidate{order: t.Order, len: t.Length(pts)}

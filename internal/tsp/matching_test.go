@@ -1,0 +1,251 @@
+package tsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// checkPerfectMatching fails unless match pairs every vertex of odd
+// exactly once, with no self-pairs and no vertex repeated.
+func checkPerfectMatching(t *testing.T, odd []int, match [][2]int) {
+	t.Helper()
+	if len(match) != len(odd)/2 {
+		t.Fatalf("matching has %d pairs for %d vertices", len(match), len(odd))
+	}
+	inOdd := map[int]bool{}
+	for _, v := range odd {
+		inOdd[v] = true
+	}
+	used := map[int]bool{}
+	for _, e := range match {
+		if e[0] == e[1] {
+			t.Fatalf("self pair %v", e)
+		}
+		for _, v := range e {
+			if !inOdd[v] {
+				t.Fatalf("pair %v includes vertex %d not in odd set", e, v)
+			}
+			if used[v] {
+				t.Fatalf("vertex %d matched twice", v)
+			}
+			used[v] = true
+		}
+	}
+}
+
+func matchingWeight(pts []geom.Point, match [][2]int) float64 {
+	w := 0.0
+	for _, e := range match {
+		w += geom.Dist(pts[e[0]], pts[e[1]])
+	}
+	return w
+}
+
+// bruteMinMatching returns the minimum-weight perfect matching over idx
+// (indices into pts, len <= 10) by exhaustive pairing recursion.
+func bruteMinMatching(pts []geom.Point, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	first := idx[0]
+	best := math.Inf(1)
+	for j := 1; j < len(idx); j++ {
+		rest := make([]int, 0, len(idx)-2)
+		rest = append(rest, idx[1:j]...)
+		rest = append(rest, idx[j+1:]...)
+		w := geom.Dist(pts[first], pts[idx[j]]) + bruteMinMatching(pts, rest)
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// TestGreedyMatchingSparseTable pins the sparse matching's validity on
+// the geometries the grid bucketing has to survive.
+func TestGreedyMatchingSparseTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cases := map[string]func() ([]geom.Point, []int){
+		"random": func() ([]geom.Point, []int) {
+			pts := rngPoints(rng, 60, 100)
+			odd := make([]int, 0, 30)
+			for i := 0; i < 60; i += 2 {
+				odd = append(odd, i)
+			}
+			return pts, odd
+		},
+		"two-points": func() ([]geom.Point, []int) {
+			return []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5)}, []int{0, 1}
+		},
+		"collinear": func() ([]geom.Point, []int) {
+			pts := make([]geom.Point, 20)
+			odd := make([]int, 20)
+			for i := range pts {
+				pts[i] = geom.Pt(float64(i*i), 0)
+				odd[i] = i
+			}
+			return pts, odd
+		},
+		"duplicates": func() ([]geom.Point, []int) {
+			pts := make([]geom.Point, 16)
+			odd := make([]int, 16)
+			for i := range pts {
+				pts[i] = geom.Pt(float64(i/4), float64(i/4)) // 4 coincident groups
+				odd[i] = i
+			}
+			return pts, odd
+		},
+		"far-clusters": func() ([]geom.Point, []int) {
+			pts := make([]geom.Point, 0, 20)
+			for i := 0; i < 10; i++ {
+				pts = append(pts, geom.Pt(rng.Float64(), rng.Float64()))
+			}
+			for i := 0; i < 10; i++ {
+				pts = append(pts, geom.Pt(1e6+rng.Float64(), rng.Float64()))
+			}
+			odd := make([]int, 20)
+			for i := range odd {
+				odd[i] = i
+			}
+			return pts, odd
+		},
+		"odd-subset-of-larger-set": func() ([]geom.Point, []int) {
+			pts := rngPoints(rng, 100, 50)
+			return pts, []int{3, 17, 41, 42, 77, 99}
+		},
+	}
+	for name, gen := range cases {
+		t.Run(name, func(t *testing.T) {
+			pts, odd := gen()
+			match := greedyMatchingSparse(pts, odd)
+			checkPerfectMatching(t, odd, match)
+			dense := greedyMatching(pts, odd)
+			checkPerfectMatching(t, odd, dense)
+		})
+	}
+}
+
+// TestGreedyMatchingSparseNearOptimal compares both greedy matchings
+// against the exact minimum on brute-forceable odd sets (<= 10
+// vertices). The pinned factor is loose — nearest-available greedy has
+// no constant-factor guarantee — but seeds are fixed, so any kernel
+// regression trips it deterministically.
+func TestGreedyMatchingSparseNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		o := 2 * (1 + rng.Intn(5)) // 2..10 odd vertices
+		pts := rngPoints(rng, o, 100)
+		odd := make([]int, o)
+		for i := range odd {
+			odd[i] = i
+		}
+		opt := bruteMinMatching(pts, odd)
+		sparse := matchingWeight(pts, greedyMatchingSparse(pts, odd))
+		dense := matchingWeight(pts, greedyMatching(pts, odd))
+		const factor = 2.5
+		if sparse > opt*factor+1e-9 {
+			t.Fatalf("trial %d (o=%d): sparse matching %.3f exceeds %.1fx optimum %.3f", trial, o, sparse, factor, opt)
+		}
+		if dense > opt*factor+1e-9 {
+			t.Fatalf("trial %d (o=%d): dense matching %.3f exceeds %.1fx optimum %.3f", trial, o, dense, factor, opt)
+		}
+	}
+}
+
+// TestChristofidesWithSparseMatchValid: with the sparse matching forced
+// on, Christofides must still emit a valid Hamiltonian tour within its
+// construction bound's ballpark of the dense variant.
+func TestChristofidesWithSparseMatchValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(180)
+		pts := rngPoints(rng, n, 300)
+		sparse := ChristofidesWith(t.Context(), pts, 0, Thresholds{Match: 1})
+		if err := sparse.Validate(n); err != nil {
+			t.Fatalf("trial %d: invalid sparse-match tour: %v", trial, err)
+		}
+		dense := Christofides(pts, 0)
+		ls, ld := sparse.Length(pts), dense.Length(pts)
+		if ls > ld*1.25 {
+			t.Fatalf("trial %d (n=%d): sparse-match tour %.3f vs dense %.3f exceeds 1.25 ratio", trial, n, ls, ld)
+		}
+	}
+}
+
+// refMatchingNearestAvailable is the brute-force O(o^2) reference for
+// greedyMatchingSparse's rule: scan ascending, pair each unmatched vertex
+// with its nearest unmatched partner, ties to the lowest index. The grid
+// kernel must reproduce it pair for pair — NearestWhere's ring pruning
+// and index tiebreak are exactly this search.
+func refMatchingNearestAvailable(pts []geom.Point, odd []int) [][2]int {
+	matched := make([]bool, len(odd))
+	var out [][2]int
+	for i := range odd {
+		if matched[i] {
+			continue
+		}
+		matched[i] = true
+		best, bestD2 := -1, math.Inf(1)
+		for j := range odd {
+			if matched[j] {
+				continue
+			}
+			if d2 := geom.DistSq(pts[odd[i]], pts[odd[j]]); d2 < bestD2 {
+				best, bestD2 = j, d2
+			}
+		}
+		if best < 0 {
+			matched[i] = false
+			break
+		}
+		matched[best] = true
+		out = append(out, [2]int{odd[i], odd[best]})
+	}
+	return out
+}
+
+// FuzzSparseMatching drives greedyMatchingSparse with fuzzer-chosen
+// point sets: whatever the geometry (duplicates, collinear runs, huge
+// spreads), the result must be a perfect matching on the odd set and
+// must agree pair for pair with the brute-force nearest-available
+// reference — the grid search is a pure accelerator, never a different
+// matching rule.
+func FuzzSparseMatching(f *testing.F) {
+	f.Add(int64(1), uint8(6), false)
+	f.Add(int64(42), uint8(10), true)
+	f.Add(int64(7), uint8(40), false)
+	f.Fuzz(func(t *testing.T, seed int64, count uint8, clustered bool) {
+		o := int(count)%48 + 2
+		o -= o % 2 // even, 2..48
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, o)
+		for i := range pts {
+			switch {
+			case clustered && i%2 == 0:
+				pts[i] = geom.Pt(1e5+rng.Float64(), 1e5+rng.Float64())
+			case i%7 == 3:
+				pts[i] = pts[rng.Intn(i+1)] // planted duplicate
+			default:
+				pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			}
+		}
+		odd := make([]int, o)
+		for i := range odd {
+			odd[i] = i
+		}
+		match := greedyMatchingSparse(pts, odd)
+		checkPerfectMatching(t, odd, match)
+		want := refMatchingNearestAvailable(pts, odd)
+		if len(match) != len(want) {
+			t.Fatalf("grid kernel made %d pairs, reference %d", len(match), len(want))
+		}
+		for p := range want {
+			if match[p] != want[p] {
+				t.Fatalf("pair %d diverges: grid %v, reference %v", p, match[p], want[p])
+			}
+		}
+	})
+}

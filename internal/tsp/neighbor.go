@@ -1,0 +1,251 @@
+package tsp
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// TwoOptNeighborList improves the tour in place with 2-opt moves, like
+// TwoOptFull, but only attempts exchanges whose new edge connects a vertex
+// to one of its k nearest neighbors (symmetrized: a candidate pair is kept
+// if either endpoint ranks the other). Together with don't-look bits and
+// first-improvement sweeps this makes a descent O(n·k) per sweep instead
+// of O(n^2), at the cost of possibly missing long-range exchanges — the
+// never-worsens invariant still holds because every applied move strictly
+// shortens the tour. k <= 0 means DefaultNeighborK; maxRounds <= 0 means
+// no sweep cap. Returns the number of improving moves applied.
+//
+// The descent is sequential and deterministic: vertices are scanned in
+// ascending index order, candidate neighbors in ascending (distance,
+// index) order, and the first improving move is taken.
+func TwoOptNeighborList(t *Tour, pts []geom.Point, k, maxRounds int) int {
+	n := len(t.Order)
+	if n < 4 {
+		return 0
+	}
+	if k <= 0 {
+		k = DefaultNeighborK
+	}
+	off, adj := neighborLists(pts, k)
+	pos := make([]int, len(pts))
+	for i, v := range t.Order {
+		pos[v] = i
+	}
+	dontlook := make([]bool, len(pts))
+	moves := 0
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			w := t.Order[v] // scan by tour position for locality; id order within a position is fixed anyway
+			if dontlook[w] {
+				continue
+			}
+			if tryNeighborMoves(t, pts, pos, dontlook, off, adj, w) {
+				improved = true
+				moves++
+			} else {
+				dontlook[w] = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}
+
+// tryNeighborMoves attempts the 2-opt exchanges around vertex a whose new
+// edge (a, c) pairs a with a list neighbor c, in both tour orientations
+// (successor and predecessor edge of a). Candidates are pruned once
+// d(a, c) reaches the removed edge's length — a standard neighbor-list
+// bound: any improving move has its shorter new edge discovered from one
+// of its four endpoints, all of which are scanned. It applies the first
+// improving move, clears the don't-look bits of the four endpoints, and
+// reports whether a move was applied.
+func tryNeighborMoves(t *Tour, pts []geom.Point, pos []int, dontlook []bool, off, adj []int32, a int) bool {
+	n := len(t.Order)
+	i := pos[a]
+	b := t.Order[(i+1)%n]   // successor edge (a, b)
+	p := t.Order[(i-1+n)%n] // predecessor edge (p, a)
+	dab := geom.Dist(pts[a], pts[b])
+	dpa := geom.Dist(pts[p], pts[a])
+	for _, cv := range adj[off[a]:off[a+1]] {
+		c := int(cv)
+		dac := geom.Dist(pts[a], pts[c])
+		if dac >= dab && dac >= dpa {
+			break // rows are distance-sorted: no later candidate can improve
+		}
+		j := pos[c]
+		// Orientation 1: remove (a, b) and (c, d), add (a, c) and (b, d).
+		if dac < dab && c != b {
+			d := t.Order[(j+1)%n]
+			if d != a {
+				delta := dac + geom.Dist(pts[b], pts[d]) - dab - geom.Dist(pts[c], pts[d])
+				if delta < -1e-12 {
+					apply2opt(t, pos, i, j)
+					dontlook[a], dontlook[b], dontlook[c], dontlook[d] = false, false, false, false
+					return true
+				}
+			}
+		}
+		// Orientation 2: remove (p, a) and (e, c), add (p, e) and (a, c).
+		if dac < dpa && c != p {
+			e := t.Order[(j-1+n)%n]
+			if e != a {
+				delta := dac + geom.Dist(pts[p], pts[e]) - dpa - geom.Dist(pts[e], pts[c])
+				if delta < -1e-12 {
+					apply2opt(t, pos, (j-1+n)%n, (i-1+n)%n)
+					dontlook[a], dontlook[p], dontlook[c], dontlook[e] = false, false, false, false
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// apply2opt removes the tour edges leaving positions i and j — the edges
+// (Order[i], Order[i+1]) and (Order[j], Order[j+1]) — and reconnects by
+// reversing the cyclic segment between them, keeping pos in sync. The
+// shorter of the two complementary segments is reversed (both yield the
+// same undirected tour), so a move costs O(min(|segment|, n-|segment|)).
+func apply2opt(t *Tour, pos []int, i, j int) {
+	n := len(t.Order)
+	inner := (j - i + n) % n // length of segment Order[i+1..j]
+	if inner == 0 || inner == n {
+		return
+	}
+	if inner <= n-inner {
+		reverseCyclic(t.Order, pos, (i+1)%n, inner)
+	} else {
+		reverseCyclic(t.Order, pos, (j+1)%n, n-inner)
+	}
+}
+
+// reverseCyclic reverses the cyclic segment of count elements starting at
+// index from, updating pos.
+func reverseCyclic(order []int, pos []int, from, count int) {
+	n := len(order)
+	i, j := from, (from+count-1)%n
+	for s := 0; s < count/2; s++ {
+		order[i], order[j] = order[j], order[i]
+		pos[order[i]] = i
+		pos[order[j]] = j
+		i++
+		if i == n {
+			i = 0
+		}
+		j--
+		if j < 0 {
+			j = n - 1
+		}
+	}
+}
+
+// neighborLists builds the symmetrized k-nearest-neighbor candidate CSR
+// over pts: row v holds the union of v's k nearest and every vertex that
+// ranks v among its own k nearest, sorted by (distance from v, index).
+// Neighbors are found by grid ring expansion, so construction is
+// O(n·k log k) at bounded density.
+func neighborLists(pts []geom.Point, k int) ([]int32, []int32) {
+	n := len(pts)
+	b := geom.Bounds(pts)
+	ex, ey := b.Max.X-b.Min.X, b.Max.Y-b.Min.Y
+	r := 2 * math.Sqrt(ex*ey/float64(n))
+	if !(r > 0) {
+		r = 2 * (ex + ey) / float64(n)
+	}
+	if !(r > 0) {
+		r = 1
+	}
+	grid := geom.NewGrid(pts, r)
+	maxR := math.Hypot(ex, ey)
+	type cand struct {
+		d2 float64
+		v  int32
+	}
+	pairs := make([][2]int32, 0, n*k)
+	var buf []int
+	cands := make([]cand, 0, 4*k)
+	for u := 0; u < n; u++ {
+		radius := r
+		for {
+			buf = grid.NeighborsOf(u, radius, buf)
+			if len(buf) >= k || radius > maxR {
+				break
+			}
+			radius *= 2
+		}
+		cands = cands[:0]
+		for _, v := range buf {
+			cands = append(cands, cand{geom.DistSq(pts[u], pts[v]), int32(v)})
+		}
+		slices.SortFunc(cands, func(a, b cand) int {
+			switch {
+			case a.d2 < b.d2:
+				return -1
+			case a.d2 > b.d2:
+				return 1
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			}
+			return 0
+		})
+		m := min(k, len(cands))
+		for _, c := range cands[:m] {
+			lo, hi := int32(u), c.v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, [2]int32{lo, hi})
+		}
+	}
+	slices.SortFunc(pairs, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	pairs = slices.Compact(pairs)
+	deg := make([]int32, n+1)
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]int32, off[n])
+	cur := deg[:n]
+	copy(cur, off[:n])
+	for _, p := range pairs {
+		adj[cur[p[0]]] = p[1]
+		cur[p[0]]++
+		adj[cur[p[1]]] = p[0]
+		cur[p[1]]++
+	}
+	for v := 0; v < n; v++ {
+		row := adj[off[v]:off[v+1]]
+		pv := pts[v]
+		slices.SortFunc(row, func(a, b int32) int {
+			da, db := geom.DistSq(pv, pts[a]), geom.DistSq(pv, pts[b])
+			switch {
+			case da < db:
+				return -1
+			case da > db:
+				return 1
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
+	}
+	return off, adj
+}

@@ -1,0 +1,213 @@
+package tsp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+func rngPoints(rng *rand.Rand, n int, side float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return pts
+}
+
+func identityTour(n int) Tour {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return Tour{Order: order}
+}
+
+// TestTwoOptNeighborListNeverWorsens: every applied move strictly shortens
+// the tour, so the descent can never return a longer tour than it was
+// given — on any input, any neighbor count.
+func TestTwoOptNeighborListNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(200)
+		pts := rngPoints(rng, n, 100)
+		tour := identityTour(n)
+		rng.Shuffle(n-1, func(i, j int) { tour.Order[i+1], tour.Order[j+1] = tour.Order[j+1], tour.Order[i+1] })
+		before := tour.Length(pts)
+		k := 3 + rng.Intn(12)
+		moves := TwoOptNeighborList(&tour, pts, k, 0)
+		after := tour.Length(pts)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d (n=%d, k=%d): length worsened %v -> %v", trial, n, k, before, after)
+		}
+		if moves > 0 && after >= before-1e-12 {
+			t.Fatalf("trial %d: %d moves reported but no improvement (%v -> %v)", trial, moves, before, after)
+		}
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("trial %d: invalid tour after descent: %v", trial, err)
+		}
+	}
+}
+
+// TestTwoOptNeighborListFixesPlantedCrossing plants edge crossings the
+// candidate lists are guaranteed to see and checks the descent removes
+// them, reaching the known-optimal tour.
+func TestTwoOptNeighborListFixesPlantedCrossing(t *testing.T) {
+	// Square visited in diagonal (crossing) order; optimal is the
+	// perimeter 4, the crossing order costs 2+2*sqrt(2).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	tour := Tour{Order: []int{0, 2, 1, 3}}
+	TwoOptNeighborList(&tour, pts, 3, 0)
+	if got := tour.Length(pts); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("square crossing not fixed: length %v, want 4", got)
+	}
+
+	// Points on a circle with a reversed interior segment: the two
+	// crossings connect tour-adjacent vertices that are also spatial
+	// neighbors, so the neighbor lists contain the repairing moves. The
+	// unique optimum is the polygon perimeter.
+	n := 48
+	pts = make([]geom.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Pt(math.Cos(a), math.Sin(a))
+	}
+	perimeter := identityTour(n).Length(pts)
+	tour = identityTour(n)
+	reverse(tour.Order, 10, 20) // plant two crossings
+	if tour.Length(pts) <= perimeter {
+		t.Fatal("planting failed to lengthen the tour")
+	}
+	TwoOptNeighborList(&tour, pts, 8, 0)
+	if got := tour.Length(pts); math.Abs(got-perimeter) > 1e-9 {
+		t.Fatalf("circle crossing not fixed: length %v, want perimeter %v", got, perimeter)
+	}
+}
+
+// TestTwoOptNeighborListTinyTours: fewer than four vertices admit no
+// 2-opt move; the descent must be a no-op, not a panic.
+func TestTwoOptNeighborListTinyTours(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n < 4; n++ {
+		pts := rngPoints(rng, n, 10)
+		tour := identityTour(n)
+		orig := append([]int(nil), tour.Order...)
+		if moves := TwoOptNeighborList(&tour, pts, 5, 0); moves != 0 {
+			t.Fatalf("n=%d: %d moves on a tiny tour", n, moves)
+		}
+		for i := range orig {
+			if tour.Order[i] != orig[i] {
+				t.Fatalf("n=%d: order mutated", n)
+			}
+		}
+	}
+}
+
+// TestTwoOptRestartsWithWorkerInvariance: with the neighbor-list kernel
+// forced on, the restart winner must be byte-identical at any worker
+// count — the (length, lexicographic) tiebreak is worker-order free.
+func TestTwoOptRestartsWithWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pts := rngPoints(rng, 150, 100)
+	th := Thresholds{TwoOpt: 50} // force the neighbor-list kernel
+	var want []int
+	for _, workers := range []int{1, 2, 8} {
+		tour := identityTour(len(pts))
+		TwoOptRestartsWith(context.Background(), &tour, pts, 6, workers, th)
+		if want == nil {
+			want = append([]int(nil), tour.Order...)
+			continue
+		}
+		for i := range want {
+			if tour.Order[i] != want[i] {
+				t.Fatalf("workers=%d: order diverges at %d: %d vs %d", workers, i, tour.Order[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTwoOptNeighborListQualityVsFull pins the quality gap between the
+// neighbor-list descent (k = DefaultNeighborK) and the exact quadratic
+// descent on random instances up to n=300: starting both from the same
+// nearest-neighbor tour, the sparse result must stay within 5% of the
+// full descent's length. The seeds are fixed, so a kernel regression
+// shows up as a deterministic failure, not flakiness.
+func TestTwoOptNeighborListQualityVsFull(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80 + rng.Intn(221) // 80..300
+		pts := rngPoints(rng, n, 1000)
+		start := NearestNeighbor(pts, 0)
+
+		full := start.Clone()
+		TwoOptFull(&full, pts, 0)
+		sparse := start.Clone()
+		TwoOptNeighborList(&sparse, pts, DefaultNeighborK, 0)
+
+		lf, ls := full.Length(pts), sparse.Length(pts)
+		if ls > lf*1.05 {
+			t.Fatalf("seed %d (n=%d): neighbor-list %.3f vs full %.3f exceeds 1.05 ratio (%.4f)",
+				seed, n, ls, lf, ls/lf)
+		}
+		if err := sparse.Validate(n); err != nil {
+			t.Fatalf("seed %d: invalid tour: %v", seed, err)
+		}
+	}
+}
+
+// TestTwoOptDispatchThresholds checks the crossover routing via the
+// kernel counters: thresholds at or below the tour size pick the
+// neighbor-list kernel, negative thresholds pin the exact kernel, and
+// the zero value keeps paper-scale tours exact.
+func TestTwoOptDispatchThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := rngPoints(rng, 40, 50)
+	cases := []struct {
+		th   Thresholds
+		want string
+	}{
+		{Thresholds{TwoOpt: 10}, "tsp.2opt.neighbor"},
+		{Thresholds{TwoOpt: -1}, "tsp.2opt.full"},
+		{Thresholds{}, "tsp.2opt.full"}, // default crossover is 3000 > 40
+	}
+	for _, c := range cases {
+		tr := obs.New()
+		ctx := obs.WithTracer(context.Background(), tr)
+		tour := identityTour(len(pts))
+		TwoOptRestartsWith(ctx, &tour, pts, 0, 1, c.th)
+		if got := tr.Report().Counters[c.want]; got != 1 {
+			t.Errorf("th=%+v: counter %s = %d, want 1 (counters: %v)", c.th, c.want, got, tr.Report().Counters)
+		}
+	}
+}
+
+// TestThresholdsCanon pins the equivalence-class canonicalization the
+// plan-cache key relies on: zero means the package default, every
+// negative value means "never".
+func TestThresholdsCanon(t *testing.T) {
+	got := Thresholds{}.Canon()
+	want := Thresholds{MST: DefaultMSTThreshold, TwoOpt: DefaultTwoOptThreshold, Match: DefaultMatchThreshold}
+	if got != want {
+		t.Errorf("zero Canon = %+v, want %+v", got, want)
+	}
+	got = Thresholds{MST: -7, TwoOpt: -1, Match: -100}.Canon()
+	want = Thresholds{MST: -1, TwoOpt: -1, Match: -1}
+	if got != want {
+		t.Errorf("negative Canon = %+v, want %+v", got, want)
+	}
+	if th := (Thresholds{MST: 42, TwoOpt: 7, Match: 9}); th.Canon() != th {
+		t.Errorf("positive Canon must be identity, got %+v", th.Canon())
+	}
+	if !(Thresholds{TwoOpt: 5}).SparseTwoOpt(5) || (Thresholds{TwoOpt: 5}).SparseTwoOpt(4) {
+		t.Error("SparseTwoOpt crossover is >=")
+	}
+	if (Thresholds{MST: -1}).SparseMST(1 << 20) {
+		t.Error("negative threshold must never go sparse")
+	}
+	if !(Thresholds{}).SparseMatch(DefaultMatchThreshold) {
+		t.Error("zero threshold must use the package default")
+	}
+}

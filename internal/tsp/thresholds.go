@@ -1,0 +1,86 @@
+package tsp
+
+// Default dense->sparse crossover sizes for the three K-minMax kernels.
+// Below the crossover the exact quadratic kernels run (and the planner's
+// n<=1200 schedules stay byte-identical to the seed); at or above it the
+// subquadratic kernels take over. The MST crossover is conservative
+// because the sparse kernel is weight-exact anyway — it exists only so
+// small inputs skip the grid setup.
+const (
+	// DefaultMSTThreshold is the point count at which MSTApprox and
+	// Christofides switch from the dense O(n^2) Prim to the grid-pruned
+	// mst.EuclideanSparse.
+	DefaultMSTThreshold = 3000
+	// DefaultTwoOptThreshold is the tour size at which TwoOpt switches
+	// from the exact quadratic descent to the neighbor-list descent.
+	DefaultTwoOptThreshold = 3000
+	// DefaultMatchThreshold is the odd-vertex count at which the
+	// Christofides matching switches from the sorted-pair greedy to the
+	// grid-bucketed nearest-available greedy.
+	DefaultMatchThreshold = 3000
+	// DefaultNeighborK is the neighbor-list size of the sparse 2-opt:
+	// exchanges are only attempted between a stop and its k nearest (or
+	// their) neighbors.
+	DefaultNeighborK = 10
+)
+
+// Thresholds selects, per kernel, the input size at which the K-minMax
+// tour machinery abandons its exact quadratic implementation for the
+// sparse one. The zero value means the package defaults above; a negative
+// field pins that kernel dense at every size (the ablation/oracle
+// setting); a positive field v makes the kernel sparse for sizes >= v
+// (v = 1 forces sparse always — the CI byte-identity job runs the MST
+// kernel this way to prove it is a drop-in).
+//
+// The MST kernel is exact (same tree weight, same tree when edge weights
+// are distinct), so its threshold is a pure speed knob. The 2-opt and
+// matching kernels are approximate: moving their thresholds can change
+// tours, which is why the thresholds travel through ktour.Input and
+// core.Options into the plan-cache key.
+type Thresholds struct {
+	MST    int
+	TwoOpt int
+	Match  int
+}
+
+// Canon maps th to the canonical representative of its behavior class:
+// zero fields become the package defaults and all negative values
+// collapse to -1. Two Thresholds values that canonicalize equally behave
+// identically at every input size (the plan cache keys the canonical
+// form).
+func (th Thresholds) Canon() Thresholds {
+	c := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return -1
+		}
+		return v
+	}
+	return Thresholds{
+		MST:    c(th.MST, DefaultMSTThreshold),
+		TwoOpt: c(th.TwoOpt, DefaultTwoOptThreshold),
+		Match:  c(th.Match, DefaultMatchThreshold),
+	}
+}
+
+// sparseAt reports whether a kernel with crossover v (in canonical form
+// semantics: 0 = default def, negative = never) goes sparse at size n.
+func sparseAt(v, def, n int) bool {
+	if v == 0 {
+		v = def
+	}
+	return v > 0 && n >= v
+}
+
+// SparseMST reports whether the MST kernel runs grid-pruned at n points.
+func (th Thresholds) SparseMST(n int) bool { return sparseAt(th.MST, DefaultMSTThreshold, n) }
+
+// SparseTwoOpt reports whether 2-opt runs the neighbor-list descent on an
+// n-vertex tour.
+func (th Thresholds) SparseTwoOpt(n int) bool { return sparseAt(th.TwoOpt, DefaultTwoOptThreshold, n) }
+
+// SparseMatch reports whether the Christofides matching runs grid-bucketed
+// over n odd vertices.
+func (th Thresholds) SparseMatch(n int) bool { return sparseAt(th.Match, DefaultMatchThreshold, n) }
