@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
@@ -45,5 +47,49 @@ func TestRunFigureFaults(t *testing.T) {
 func TestRunAblations(t *testing.T) {
 	if err := run(context.Background(), "ablation", tinyOpts(), false, "", ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseBudget is the regression table for the silently-passing budget
+// bug: "-budget typo=30" used to parse fine and then never match a
+// recorded span, asserting nothing. Unknown stage names are now a hard
+// error naming the known vocabulary.
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    map[string]float64
+		wantErr string
+	}{
+		{name: "empty", in: "", want: map[string]float64{}},
+		{name: "blank-entries", in: " , ,", want: map[string]float64{}},
+		{name: "single", in: "kminmax=30", want: map[string]float64{"kminmax": 30}},
+		{name: "multi", in: "kminmax=30,mis=2.5", want: map[string]float64{"kminmax": 30, "mis": 2.5}},
+		{name: "nested-spans", in: "mis/select=1,kminmax/mst=4", want: map[string]float64{"mis/select": 1, "kminmax/mst": 4}},
+		{name: "spaces", in: " insertion=9 , execute=1 ", want: map[string]float64{"insertion": 9, "execute": 1}},
+		{name: "unknown-stage", in: "typo=30", wantErr: `unknown -budget stage "typo"`},
+		{name: "unknown-among-known", in: "kminmax=30,msi=2", wantErr: `unknown -budget stage "msi"`},
+		{name: "case-sensitive", in: "MIS=2", wantErr: `unknown -budget stage "MIS"`},
+		{name: "missing-equals", in: "kminmax", wantErr: "want stage=seconds"},
+		{name: "bad-seconds", in: "mis=fast", wantErr: "bad -budget seconds"},
+		{name: "zero-seconds", in: "mis=0", wantErr: "bad -budget seconds"},
+		{name: "negative-seconds", in: "mis=-3", wantErr: "bad -budget seconds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBudget(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseBudget(%q) error = %v, want containing %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseBudget(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseBudget(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
 	}
 }

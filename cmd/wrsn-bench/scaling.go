@@ -25,12 +25,18 @@ const scalingDensity = 0.12
 // runScaling executes the BENCH_scaling.json ladder: one cold Appro plan
 // per rung of the comma-separated n ladder on a density-scaled field,
 // reporting per-stage timings from the obs tracer — including the
-// kminmax/mst, kminmax/match, kminmax/2opt and kminmax/split sub-spans
-// that attribute the K-minMax stage to its kernels. budget is a
-// comma-separated list of stage=seconds assertions (e.g.
-// "kminmax=30,mis=20") checked against every rung; a breach fails the
-// run after the table prints, so CI can hold stage regressions out.
-func runScaling(ctx context.Context, ladder string, k int, seed int64, restarts int, budget string, csv bool) error {
+// mis/select and mis/update sub-spans that attribute the MIS stage to
+// its selection engine, and the kminmax/mst, kminmax/match, kminmax/2opt
+// and kminmax/split sub-spans that attribute the K-minMax stage to its
+// kernels. rescan routes the degree-ordered MIS through the retained
+// quadratic reference selection (identical schedules), so the ladder can
+// measure both sides of the swap. budget is a comma-separated list of
+// stage=seconds assertions (e.g. "kminmax=30,mis=20") checked against
+// every rung; stage names must come from the tracer's canonical
+// vocabulary (obs.KnownStages) — unknown names are a hard error, never a
+// silently-passing no-op — and a breach fails the run after the table
+// prints, so CI can hold stage regressions out.
+func runScaling(ctx context.Context, ladder string, k int, seed int64, restarts int, rescan bool, budget string, csv bool) error {
 	ns, err := parseLadder(ladder)
 	if err != nil {
 		return err
@@ -40,18 +46,18 @@ func runScaling(ctx context.Context, ladder string, k int, seed int64, restarts 
 		return err
 	}
 	stages := []string{
-		obs.StageChargingGraph, obs.StageMIS, obs.StageKMinMax,
+		obs.StageChargingGraph, obs.StageMIS, obs.StageMISSelect, obs.StageMISUpdate, obs.StageKMinMax,
 		obs.StageKMinMaxMST, obs.StageKMinMaxMatch, obs.StageKMinMaxTwoOpt, obs.StageKMinMaxSplit,
 		obs.StageInsertion,
 	}
 	tb := export.NewTable(
 		fmt.Sprintf("Appro scaling ladder, density %.2f sensors/unit^2, K=%d, seed %d", scalingDensity, k, seed),
-		"n", "field", "total (s)", "graph", "mis", "kminmax", "..mst", "..match", "..2opt", "..split", "insertion")
+		"n", "field", "total (s)", "graph", "mis", "..select", "..update", "kminmax", "..mst", "..match", "..2opt", "..split", "insertion")
 	var breaches []string
 	for _, n := range ns {
 		side := math.Sqrt(float64(n) / scalingDensity)
 		in := scalingInstance(n, k, seed, side)
-		planner, err := repro.NewPlannerWithOptions("Appro", repro.ApproOptions{TourRestarts: restarts})
+		planner, err := repro.NewPlannerWithOptions("Appro", repro.ApproOptions{TourRestarts: restarts, MISRescan: rescan})
 		if err != nil {
 			return err
 		}
@@ -105,8 +111,16 @@ func parseLadder(ladder string) ([]int, error) {
 	return ns, nil
 }
 
-// parseBudget parses "stage=seconds,stage=seconds" into limits.
+// parseBudget parses "stage=seconds,stage=seconds" into limits. Stage
+// names are validated against the tracer's canonical vocabulary: a typo
+// like "typo=30" used to parse fine and then never match a recorded
+// span, silently asserting nothing — now it is a hard error listing the
+// known names.
 func parseBudget(budget string) (map[string]float64, error) {
+	known := make(map[string]bool)
+	for _, s := range obs.KnownStages() {
+		known[s] = true
+	}
 	out := map[string]float64{}
 	for _, part := range strings.Split(budget, ",") {
 		part = strings.TrimSpace(part)
@@ -116,6 +130,10 @@ func parseBudget(budget string) (map[string]float64, error) {
 		stage, val, ok := strings.Cut(part, "=")
 		if !ok {
 			return nil, fmt.Errorf("bad -budget entry %q (want stage=seconds)", part)
+		}
+		if !known[stage] {
+			return nil, fmt.Errorf("unknown -budget stage %q (known stages: %s)",
+				stage, strings.Join(obs.KnownStages(), ", "))
 		}
 		sec, err := strconv.ParseFloat(val, 64)
 		if err != nil || sec <= 0 {

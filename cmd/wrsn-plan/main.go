@@ -36,6 +36,7 @@ func main() {
 		field      = flag.Float64("field", 100, "side of the square deployment field in meters (scale ~ sqrt(n) to keep the paper's density at large n)")
 		misFlag    = flag.String("mis", "", `MIS strategy for options-capable planners: "max-degree" (default), "min-degree", "lexicographic", "random", "luby"`)
 		misSeed    = flag.Int64("mis-seed", 1, `seed for the seeded MIS strategies ("random", "luby")`)
+		misRescan  = flag.Bool("mis-rescan", false, "route the degree-ordered MIS strategies through the retained quadratic reference selection instead of the bucket queue (identical output; for byte-identity drills and A/B measurement)")
 		restarts   = flag.Int("restarts", 0, "independent 2-opt descents inside the K-minMax tour refinement (<=1 = single sequential descent)")
 		sparseMST  = flag.Int("sparse-mst", 0, "K-minMax MST kernel crossover: run the grid-pruned exact-weight MST at tour size >= this (0 = package default, negative = never)")
 		sparse2opt = flag.Int("sparse-2opt", 0, "K-minMax 2-opt kernel crossover: run the neighbor-list descent at tour size >= this (0 = package default, negative = never; approximate above the crossover)")
@@ -73,6 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wrsn-plan:", err)
 		os.Exit(1)
 	}
+	opts.MISRescan = *misRescan
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -267,7 +269,10 @@ func run(ctx context.Context, n, k int, name string, seed int64, field float64, 
 			lb.Value/3600, lb.Farthest/3600, lb.PackingWork/3600, lb.PackingTravel/3600, lb.PackingSize)
 		fmt.Printf("empirical approx factor:  <= %.2f\n", s.Longest/lb.Value)
 	}
-	if ana, err := repro.Analyze(ctx, in, repro.ApproOptions{}); err == nil {
+	// Default options deliberately: the guarantee is for the paper's
+	// canonical construction. Only the engine-only rescan switch passes
+	// through, so -mis-rescan measures every MIS call in the binary.
+	if ana, err := repro.Analyze(ctx, in, repro.ApproOptions{MISRescan: opts.MISRescan}); err == nil {
 		fmt.Printf("theoretical guarantee:    %.1f (Delta_H=%d <= %d, tau_max/tau_min=%.2f, |S_I|=%d, |V'_H|=%d)\n",
 			ana.Ratio, ana.DeltaH, 26, ana.TauMax/ana.TauMin, ana.SI, ana.VH)
 	} else if ctx.Err() != nil {

@@ -67,8 +67,9 @@ func Analyze(ctx context.Context, in *Instance, opts Options) (*Analysis, error)
 	sp := tr.Start(obs.StageChargingGraph)
 	gc := graph.UnitDisk(pts, in.Gamma)
 	sp.End()
+	misCfg := graph.MISConfig{Rng: rng, Rescan: opts.MISRescan, Tracer: tr}
 	sp = tr.Start(obs.StageMIS)
-	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+	si := graph.MaximalIndependentSetWith(gc, opts.MISOrder, misCfg)
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
@@ -77,7 +78,7 @@ func Analyze(ctx context.Context, in *Instance, opts Options) (*Analysis, error)
 	h := graph.IntersectionGraph(pts, si, in.Gamma)
 	sp.End()
 	sp = tr.Start(obs.StageMIS)
-	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+	vh := graph.MaximalIndependentSetWith(h, opts.MISOrder, misCfg)
 	sp.End()
 	out.SI = len(si)
 	out.VH = len(vh)

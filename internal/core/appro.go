@@ -23,6 +23,14 @@ type Options struct {
 	// EXPERIMENTS.md shows it yields ~20% fewer stops and shorter tours
 	// than min-degree or lexicographic selection on dense request sets.
 	MISOrder graph.MISOrder
+	// MISRescan forces the degree-ordered MIS strategies through the
+	// retained quadratic reference selection loop instead of the
+	// incremental bucket queue. The two engines pick the identical
+	// vertex sequence on every graph, so this is a measurement and
+	// verification knob, never a plan-shaping one: the plan cache drops
+	// it from its key (plancache.canonOptions) and CI diffs the n=10k
+	// plan bytes across both settings.
+	MISRescan bool
 	// Seed drives graph.MISRandom; ignored for deterministic orders.
 	Seed int64
 	// NoSortByFinishTime disables the paper's processing of pending
@@ -115,8 +123,9 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 	sp := tr.Start(obs.StageChargingGraph)
 	gc := graph.UnitDisk(pts, in.Gamma)
 	sp.End()
+	misCfg := graph.MISConfig{Rng: rng, Rescan: opts.MISRescan, Tracer: tr}
 	sp = tr.Start(obs.StageMIS)
-	si := graph.MaximalIndependentSet(gc, opts.MISOrder, rng)
+	si := graph.MaximalIndependentSetWith(gc, opts.MISOrder, misCfg)
 	sp.End()
 
 	// Step 3-4: auxiliary graph H over S_I and its MIS V'_H.
@@ -124,7 +133,7 @@ func approOrdered(ctx context.Context, in *Instance, opts Options) (*Schedule, e
 	h := graph.IntersectionGraph(pts, si, in.Gamma)
 	sp.End()
 	sp = tr.Start(obs.StageMIS)
-	vh := graph.MaximalIndependentSet(h, opts.MISOrder, rng)
+	vh := graph.MaximalIndependentSetWith(h, opts.MISOrder, misCfg)
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: appro: %w", err)

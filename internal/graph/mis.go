@@ -3,6 +3,9 @@ package graph
 import (
 	"math/rand"
 	"sort"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // MISOrder selects the vertex-selection strategy for maximal independent
@@ -49,28 +52,62 @@ func (o MISOrder) String() string {
 	}
 }
 
+// MISConfig carries the optional knobs of MaximalIndependentSetWith. The
+// zero value is valid and means: no randomness source, the incremental
+// bucket-queue selection for the degree orders, no tracing.
+type MISConfig struct {
+	// Rng drives the seeded orders MISRandom and MISLuby; it is ignored
+	// by the deterministic orders and may be nil (a fixed seed-1 source
+	// substitutes).
+	Rng *rand.Rand
+	// Rescan forces the degree orders (MISMinDegree, MISMaxDegree)
+	// through the retained quadratic reference selection loop instead of
+	// the incremental bucket queue. The two pick the identical vertex
+	// sequence on every graph (TestMISDegreeOrderOracle,
+	// FuzzMISDegreeOrder), so the switch never changes a result; it
+	// exists for CI byte-identity drills and A/B measurement
+	// (wrsn-plan/-bench -mis-rescan).
+	Rescan bool
+	// Tracer, when non-nil, receives the nested mis/select and
+	// mis/update spans plus a mis.degree.bucket or mis.degree.rescan
+	// counter tick naming the selection engine that ran.
+	Tracer *obs.Tracer
+}
+
 // MaximalIndependentSet returns a maximal independent set of g using the
 // given strategy, as an ascending slice of vertex indices. rng is used only
-// by MISRandom and may be nil otherwise. The result is never nil for a
-// non-empty graph: every vertex set has a maximal independent set.
+// by the seeded strategies and may be nil otherwise. The result is never
+// nil for a non-empty graph: every vertex set has a maximal independent
+// set.
 func MaximalIndependentSet(g *Undirected, order MISOrder, rng *rand.Rand) []int {
+	return MaximalIndependentSetWith(g, order, MISConfig{Rng: rng})
+}
+
+// MaximalIndependentSetWith is MaximalIndependentSet with the full knob
+// set: a randomness source for the seeded strategies, the reference-rescan
+// switch for the degree strategies, and an optional tracer.
+func MaximalIndependentSetWith(g *Undirected, order MISOrder, cfg MISConfig) []int {
 	n := g.Len()
 	if n == 0 {
 		return nil
 	}
 	switch order {
 	case MISMinDegree, MISMaxDegree:
-		return misByDegree(g, order == MISMinDegree)
+		return misByDegree(g, order == MISMinDegree, cfg)
 	case MISRandom:
-		perm := rand.New(rand.NewSource(1)).Perm(n)
-		if rng != nil {
-			perm = rng.Perm(n)
+		// Each branch computes only its own permutation: the fixed-seed
+		// fallback is for a nil source only, never thrown-away work.
+		var perm []int
+		if cfg.Rng != nil {
+			perm = cfg.Rng.Perm(n)
+		} else {
+			perm = rand.New(rand.NewSource(1)).Perm(n)
 		}
 		return misScan(g, perm)
 	case MISLuby:
 		seed := int64(1)
-		if rng != nil {
-			seed = rng.Int63()
+		if cfg.Rng != nil {
+			seed = cfg.Rng.Int63()
 		}
 		return LubyMIS(g, seed)
 	default: // MISLexicographic and any unknown value
@@ -101,10 +138,34 @@ func misScan(g *Undirected, scan []int) []int {
 	return out
 }
 
-// misByDegree repeatedly selects a remaining vertex with minimum (or
-// maximum) residual degree, removing it and its neighbors. Residual degrees
-// are maintained lazily via a bucket scan, giving O(n + m) overall.
-func misByDegree(g *Undirected, wantMin bool) []int {
+// misByDegree repeatedly selects the remaining vertex with minimum (or
+// maximum) residual degree, lowest vertex index among ties, removing it
+// and its neighbors. The selection runs on the incremental bucket queue
+// (bucket.go) — or, when cfg.Rescan asks for it, on the retained quadratic
+// reference — and returns the selected vertices sorted ascending. The two
+// engines pick the identical vertex sequence; the counters record which
+// one ran.
+func misByDegree(g *Undirected, wantMin bool, cfg MISConfig) []int {
+	var out []int
+	if cfg.Rescan {
+		cfg.Tracer.Add("mis.degree.rescan", 1)
+		out = misByDegreeRescan(g, wantMin, cfg.Tracer)
+	} else {
+		cfg.Tracer.Add("mis.degree.bucket", 1)
+		out = misByDegreeBucket(g, wantMin, cfg.Tracer)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// misByDegreeRescan is the reference selection loop: per selection it
+// rescans every alive vertex for the extreme residual degree (Θ(n) per
+// pick, Θ(n · selections) overall — quadratic on graphs whose MIS grows
+// with n). It is retained as the executable specification the bucket
+// queue is proven against: the oracle suite and FuzzMISDegreeOrder assert
+// sequence equality, and -mis-rescan routes production plans through it
+// for CI byte-identity diffs. Returns vertices in selection order.
+func misByDegreeRescan(g *Undirected, wantMin bool, tr *obs.Tracer) []int {
 	n := g.Len()
 	deg := make([]int, n)
 	alive := make([]bool, n)
@@ -115,7 +176,12 @@ func misByDegree(g *Undirected, wantMin bool) []int {
 	remaining := n
 	var out []int
 	remove := make([]int, 0, 16) // scratch, reused across selections
+	var selectD, updateD time.Duration
 	for remaining > 0 {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		best := -1
 		for v := 0; v < n; v++ {
 			if !alive[v] {
@@ -126,6 +192,11 @@ func misByDegree(g *Undirected, wantMin bool) []int {
 				(!wantMin && deg[v] > deg[best]) {
 				best = v
 			}
+		}
+		if tr != nil {
+			t1 := time.Now()
+			selectD += t1.Sub(t0)
+			t0 = t1
 		}
 		out = append(out, best)
 		// Remove best and its alive neighbors; fix residual degrees.
@@ -146,8 +217,14 @@ func misByDegree(g *Undirected, wantMin bool) []int {
 				}
 			}
 		}
+		if tr != nil {
+			updateD += time.Since(t0)
+		}
 	}
-	sort.Ints(out)
+	if tr != nil {
+		tr.Observe(obs.StageMISSelect, selectD)
+		tr.Observe(obs.StageMISUpdate, updateD)
+	}
 	return out
 }
 

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// The oracle contract: the bucket queue must pick the IDENTICAL vertex
+// sequence as the retained rescan reference — not merely the same final
+// set — for both degree orders, on every graph. Sequence equality is the
+// strongest possible statement: it implies every downstream schedule,
+// golden objective and plan-cache entry is byte-identical across the two
+// engines.
+
+// degreeSequences returns the bucket and rescan selection sequences.
+func degreeSequences(g *Undirected, wantMin bool) (bucket, rescan []int) {
+	return misByDegreeBucket(g, wantMin, nil), misByDegreeRescan(g, wantMin, nil)
+}
+
+func assertSameSequence(t *testing.T, g *Undirected, label string) {
+	t.Helper()
+	for _, wantMin := range []bool{true, false} {
+		order := "max"
+		if wantMin {
+			order = "min"
+		}
+		bucket, rescan := degreeSequences(g, wantMin)
+		if len(bucket) != len(rescan) {
+			t.Fatalf("%s/%s-degree: bucket picked %d vertices, rescan %d",
+				label, order, len(bucket), len(rescan))
+		}
+		for i := range bucket {
+			if bucket[i] != rescan[i] {
+				t.Fatalf("%s/%s-degree: selection %d diverges: bucket picked %d, rescan %d\nbucket: %v\nrescan: %v",
+					label, order, i, bucket[i], rescan[i], bucket, rescan)
+			}
+		}
+		// And the public entry point still returns a valid MIS either way.
+		misOrder := MISMaxDegree
+		if wantMin {
+			misOrder = MISMinDegree
+		}
+		set := MaximalIndependentSetWith(g, misOrder, MISConfig{})
+		if g.Len() > 0 && !IsMaximalIndependentSet(g, set) {
+			t.Fatalf("%s/%s-degree: bucket result is not a maximal independent set: %v", label, order, set)
+		}
+	}
+}
+
+// cycleGraph returns the n-cycle (2-regular: every selection is a mass tie).
+func cycleGraph(n int) *Undirected {
+	edges := make([][2]int, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, [2]int{v, (v + 1) % n})
+	}
+	return FromEdges(n, edges)
+}
+
+// matchingGraph returns n/2 disjoint edges (1-regular, maximal degree ties,
+// the adversary where a naive per-pop bucket scan degrades to quadratic).
+func matchingGraph(n int) *Undirected {
+	var edges [][2]int
+	for v := 0; v+1 < n; v += 2 {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	return FromEdges(n, edges)
+}
+
+func TestMISDegreeOrderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+
+	t.Run("adversaries", func(t *testing.T) {
+		cases := map[string]*Undirected{
+			"empty":             FromEdges(0, nil),
+			"single-vertex":     FromEdges(1, nil),
+			"edgeless-ties":     FromEdges(23, nil), // every vertex isolated: one big degree-0 tie
+			"star":              FromEdges(10, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 9}}),
+			"reverse-star":      FromEdges(10, [][2]int{{9, 0}, {9, 1}, {9, 2}, {9, 3}, {9, 4}, {9, 5}, {9, 6}, {9, 7}, {9, 8}}),
+			"double-star":       FromEdges(9, [][2]int{{0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 6}, {1, 7}, {0, 1}, {1, 8}}),
+			"complete":          completeGraph(9),
+			"cycle-regular":     cycleGraph(40),
+			"matching-ties":     matchingGraph(60),
+			"path":              FromEdges(12, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 10}, {10, 11}}),
+			"isolated-vertices": FromEdges(14, [][2]int{{3, 5}, {5, 9}, {9, 3}, {10, 11}}), // triangles + edge + isolates
+		}
+		for label, g := range cases {
+			assertSameSequence(t, g, label)
+		}
+	})
+
+	t.Run("random-gnp", func(t *testing.T) {
+		for trial := 0; trial < 40; trial++ {
+			n := rng.Intn(90)
+			g := randomGraph(rng, n, rng.Float64())
+			assertSameSequence(t, g, fmt.Sprintf("gnp-trial-%d-n%d", trial, n))
+		}
+	})
+
+	t.Run("random-geometric", func(t *testing.T) {
+		// The production shape: unit-disk charging graphs over uniform
+		// deployments at the paper's density, including radii that make
+		// the graph dense (mass ties) and nearly edgeless.
+		for trial := 0; trial < 20; trial++ {
+			n := 30 + rng.Intn(300)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+			}
+			radius := []float64{1, 2.7, 8, 30}[trial%4]
+			g := UnitDisk(pts, radius)
+			assertSameSequence(t, g, fmt.Sprintf("geo-trial-%d-n%d-r%.1f", trial, n, radius))
+		}
+	})
+}
+
+// TestMISDegreeRescanSwitch proves the public switch routes to the
+// reference engine and that both spellings return identical ascending
+// sets, with the decision counters naming the engine that ran.
+func TestMISDegreeRescanSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 70, 0.1)
+	for _, order := range []MISOrder{MISMinDegree, MISMaxDegree} {
+		trBucket, trRescan := obs.New(), obs.New()
+		bucket := MaximalIndependentSetWith(g, order, MISConfig{Tracer: trBucket})
+		rescan := MaximalIndependentSetWith(g, order, MISConfig{Rescan: true, Tracer: trRescan})
+		if len(bucket) != len(rescan) {
+			t.Fatalf("%v: set sizes differ: %d vs %d", order, len(bucket), len(rescan))
+		}
+		for i := range bucket {
+			if bucket[i] != rescan[i] {
+				t.Fatalf("%v: sets differ at %d: %v vs %v", order, i, bucket, rescan)
+			}
+		}
+		if c := trBucket.Report().Counters; c["mis.degree.bucket"] != 1 || c["mis.degree.rescan"] != 0 {
+			t.Errorf("%v: bucket run counters = %v", order, c)
+		}
+		if c := trRescan.Report().Counters; c["mis.degree.rescan"] != 1 || c["mis.degree.bucket"] != 0 {
+			t.Errorf("%v: rescan run counters = %v", order, c)
+		}
+		// Both engines record the nested sub-spans.
+		for _, tr := range []*obs.Tracer{trBucket, trRescan} {
+			r := tr.Report()
+			seen := map[string]bool{}
+			for _, st := range r.Stages {
+				seen[st.Name] = true
+			}
+			if !seen[obs.StageMISSelect] || !seen[obs.StageMISUpdate] {
+				t.Errorf("%v: missing nested mis spans in %v", order, r.Stages)
+			}
+		}
+	}
+}
+
+// TestMISRandomComputesPermOncePerBranch is the regression test for the
+// MISRandom double-perm bug: the fixed-seed fallback permutation used to
+// be computed unconditionally and thrown away whenever a source was
+// supplied. The fix computes each permutation only on its own branch; the
+// output contract is unchanged on both branches.
+func TestMISRandomComputesPermOncePerBranch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 10+rng.Intn(50), rng.Float64()*0.4)
+		seed := rng.Int63()
+
+		// Seeded branch: identical to scanning the supplied source's perm.
+		got := MaximalIndependentSet(g, MISRandom, rand.New(rand.NewSource(seed)))
+		want := misScan(g, rand.New(rand.NewSource(seed)).Perm(g.Len()))
+		if !equalInts(got, want) {
+			t.Fatalf("seed %d: MISRandom = %v, want misScan over the source's perm %v", seed, got, want)
+		}
+
+		// Nil-source branch: identical to the documented seed-1 fallback.
+		got = MaximalIndependentSet(g, MISRandom, nil)
+		want = misScan(g, rand.New(rand.NewSource(1)).Perm(g.Len()))
+		if !equalInts(got, want) {
+			t.Fatalf("nil rng: MISRandom = %v, want seed-1 fallback %v", got, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzMISDegreeOrder fuzzes arbitrary graphs against the sequence-equality
+// oracle: the bucket queue and the rescan reference must agree pick for
+// pick under both degree orders. Run in CI as a 10s smoke.
+func FuzzMISDegreeOrder(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(7), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(12), []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5})
+	f.Add(uint8(40), bytes.Repeat([]byte{3, 9, 17, 4}, 20))
+	f.Add(uint8(64), []byte{255, 254, 253, 252, 1, 2, 3, 4, 9, 9, 8, 8})
+	f.Fuzz(func(t *testing.T, n uint8, data []byte) {
+		nv := int(n) % 64
+		var edges [][2]int
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%max(nv, 1), int(data[i+1])%max(nv, 1)
+			if u != v && nv > 0 {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := FromEdges(nv, edges) // dedups both orientations
+		for _, wantMin := range []bool{true, false} {
+			bucket, rescan := degreeSequences(g, wantMin)
+			if !equalInts(bucket, rescan) {
+				t.Fatalf("wantMin=%v: sequences diverge on n=%d edges=%v\nbucket: %v\nrescan: %v",
+					wantMin, nv, edges, bucket, rescan)
+			}
+		}
+	})
+}
+
+// BenchmarkMISDegree pits the two selection engines on a production-shaped
+// unit-disk graph (the paper's density). The rescan is Θ(n·|MIS|); the
+// bucket queue is near-linear.
+func BenchmarkMISDegree(b *testing.B) {
+	for _, n := range []int{1200, 10000} {
+		rng := rand.New(rand.NewSource(1))
+		side := 0.0
+		for side*side*0.12 < float64(n) {
+			side += 1
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		g := UnitDisk(pts, 2.7)
+		for _, engine := range []string{"bucket", "rescan"} {
+			b.Run(fmt.Sprintf("%s/n=%d", engine, n), func(b *testing.B) {
+				rescan := engine == "rescan"
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = MaximalIndependentSetWith(g, MISMaxDegree, MISConfig{Rescan: rescan})
+				}
+			})
+		}
+	}
+}

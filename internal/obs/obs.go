@@ -36,6 +36,16 @@ const (
 	// StageMIS covers the maximal-independent-set computations on G_c
 	// and H.
 	StageMIS = "mis"
+	// The mis/* spans are sub-stages nested INSIDE the mis span when a
+	// degree-ordered strategy runs — they attribute its time to the
+	// extreme-degree vertex selection (bucket-queue pops or reference
+	// rescans) versus the residual-degree bookkeeping after each removal,
+	// and must not be added to the top-level stages when summing a plan's
+	// runtime. A mis.degree.bucket / mis.degree.rescan counter tick
+	// records which selection engine ran (see internal/graph's
+	// MISConfig.Rescan).
+	StageMISSelect = "mis/select"
+	StageMISUpdate = "mis/update"
 	// StageKMinMax covers the K-minMax closed-tour subroutine.
 	StageKMinMax = "kminmax"
 	// StageInsertion covers Algorithm 1's pending-candidate insertion
@@ -58,6 +68,22 @@ const (
 	// StageVerify covers the independent feasibility verifier.
 	StageVerify = "verify"
 )
+
+// KnownStages returns the canonical span vocabulary above — top-level
+// stages followed by the nested mis/* and kminmax/* sub-spans — in display
+// order. Consumers that accept stage names from users (wrsn-bench's
+// -budget assertions) validate against this list so a typo'd stage fails
+// loudly instead of silently never matching a recorded span.
+func KnownStages() []string {
+	return []string{
+		StageChargingGraph,
+		StageMIS, StageMISSelect, StageMISUpdate,
+		StageKMinMax, StageKMinMaxMST, StageKMinMaxMatch, StageKMinMaxTwoOpt, StageKMinMaxSplit,
+		StageInsertion,
+		StageExecute,
+		StageVerify,
+	}
+}
 
 type ctxKey struct{}
 

@@ -101,6 +101,9 @@ func Identity(p core.Planner) (name string, opts *core.Options) {
 //   - TourBuilder zero means ktour.BuilderChristofides.
 //   - TourRestarts <= 1 all mean the single sequential descent.
 //   - Workers affects speed only, never the schedule, and is dropped.
+//   - MISRescan routes the degree-ordered MIS selection through the
+//     reference rescan engine, which picks the identical vertex sequence
+//     as the bucket queue; it never changes the schedule and is dropped.
 //   - Sparse canonicalizes per tsp.Thresholds.Canon: zero fields mean the
 //     package-default crossovers and every negative value pins that
 //     kernel dense. The thresholds can change the schedule above the
@@ -124,6 +127,7 @@ func canonOptions(opts *core.Options) core.Options {
 		o.TourRestarts = 1
 	}
 	o.Workers = 0
+	o.MISRescan = false
 	o.Sparse = o.Sparse.Canon()
 	return o
 }

@@ -113,6 +113,7 @@ func TestOptionsNoLongerAlias(t *testing.T) {
 		"restarts-neg":     {TourRestarts: -3},
 		"workers":          {Workers: 7},
 		"unused-seed":      {Seed: 42},
+		"mis-rescan":       {MISRescan: true},
 		"sparse-defaults-explicit": {Sparse: tsp.Thresholds{
 			MST: tsp.DefaultMSTThreshold, TwoOpt: tsp.DefaultTwoOptThreshold, Match: tsp.DefaultMatchThreshold}},
 	}
